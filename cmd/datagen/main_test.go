@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestBytesHuman(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{100, "100 B"},
+		{10 << 10, "10.0 KiB"},
+		{5 << 20, "5.0 MiB"},
+		{3 << 30, "3.0 GiB"},
+	}
+	for _, c := range cases {
+		if got := bytesHuman(c.in); got != c.want {
+			t.Errorf("bytesHuman(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command datanet-bench regenerates every table and figure of the paper's
+// evaluation on the simulated substrate and prints them as text tables,
+// series and sparklines. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers.
+//
+// Usage:
+//
+//	datanet-bench            # run the full suite
+//	datanet-bench -only fig5 # run one experiment (fig1,fig2,table1,fig5,
+//	                         # fig6,fig7,fig8,table2,fig9,fig10,migration,
+//	                         # ablation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datanet/internal/experiments"
+	"datanet/internal/stats"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, modelcheck, aggregation, amortization, blocksize, replication)")
+	csvDir := flag.String("csv", "", "also write the figure series as CSV files into this directory")
+	htmlOut := flag.String("html", "", "also write a self-contained HTML report (inline SVG) to this path")
+	flag.Parse()
+
+	if *htmlOut != "" {
+		if err := experiments.WriteHTMLReport(*htmlOut); err != nil {
+			fmt.Fprintln(os.Stderr, "datanet-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *htmlOut)
+		if *csvDir == "" && *only == "" {
+			return
+		}
+	}
+
+	if *csvDir != "" {
+		files, err := experiments.WriteCSVSuite(*csvDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datanet-bench:", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+		if *only == "" {
+			return
+		}
+	}
+
+	if *only == "" {
+		if err := experiments.RunSuite(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "datanet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runOne(*only); err != nil {
+		fmt.Fprintln(os.Stderr, "datanet-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func runOne(name string) error {
+	print := func(s fmt.Stringer, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.String())
+		return nil
+	}
+	switch name {
+	case "fig1":
+		p := experiments.DefaultMovieParams()
+		p.Blocks = 128
+		return print(experiments.Fig1(p))
+	case "fig2":
+		fmt.Println(experiments.Fig2(stats.Gamma{}, 0, nil).String())
+		return nil
+	case "table1":
+		return print(experiments.Table1(nil))
+	case "fig5":
+		return print(experiments.Fig5(experiments.MovieParams{}))
+	case "fig6":
+		return print(experiments.Fig6(nil))
+	case "fig7":
+		return print(experiments.Fig7(nil))
+	case "fig8":
+		return print(experiments.Fig8(experiments.EventParams{}))
+	case "table2":
+		return print(experiments.Table2(nil, nil))
+	case "fig9":
+		return print(experiments.Fig9(nil, 50))
+	case "fig10":
+		return print(experiments.Fig10(nil, nil))
+	case "migration":
+		return print(experiments.Migration(nil))
+	case "ablation":
+		env, err := experiments.NewMovieEnv(experiments.DefaultMovieParams())
+		if err != nil {
+			return err
+		}
+		if err := print(experiments.BucketAblation(env)); err != nil {
+			return err
+		}
+		return print(experiments.SchedulerAblation(env))
+	case "theory":
+		return print(experiments.Theory(stats.Gamma{}, 0, 0, 0))
+	case "sweep":
+		return print(experiments.ClusterSweep(nil, experiments.MovieParams{}))
+	case "hetero":
+		return print(experiments.Heterogeneity(experiments.MovieParams{}))
+	case "reactive":
+		return print(experiments.Reactive(nil))
+	case "iosaving":
+		return print(experiments.IOSaving(nil, nil))
+	case "selectivity":
+		return print(experiments.Selectivity(nil, nil))
+	case "weblog":
+		return print(experiments.WebLog(experiments.WebLogParams{}))
+	case "placement":
+		return print(experiments.Placement(experiments.MovieParams{}))
+	case "modelcheck":
+		return print(experiments.ModelCheck(nil, nil))
+	case "aggregation":
+		return print(experiments.Aggregation(nil, nil))
+	case "blocksize":
+		return print(experiments.BlockSize(nil, experiments.MovieParams{}))
+	case "replication":
+		return print(experiments.Replication(nil, experiments.MovieParams{}))
+	case "amortization":
+		return print(experiments.Amortization(nil))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

@@ -1,0 +1,457 @@
+// Command datanet drives the library end to end on a dataset file produced
+// by cmd/datagen: it lays the records out on a simulated HDFS cluster,
+// builds ElasticMap meta-data (optionally persisting it), answers
+// sub-dataset distribution queries, and runs analysis jobs under either
+// scheduler.
+//
+// Subcommands:
+//
+//	datanet build   -data reviews.dnr -meta reviews.em [-alpha 0.3] [-block 256KiB] [-nodes 32]
+//	datanet query   -data reviews.dnr -sub movie-00000 [-meta reviews.em]
+//	datanet analyze -data reviews.dnr -sub movie-00000 -app wordcount [-sched datanet]
+//	datanet top     -data reviews.dnr [-n 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"datanet"
+	"datanet/internal/elasticmap"
+	"datanet/internal/records"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "build":
+		err = runBuild(args)
+	case "query":
+		err = runQuery(args)
+	case "analyze":
+		err = runAnalyze(args)
+	case "top":
+		err = runTop(args)
+	case "verify":
+		err = runVerify(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datanet:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: datanet <build|query|analyze|top> [flags]
+  build   -data FILE -meta OUT [-alpha A] [-block BYTES] [-nodes N]
+  query   -data FILE -sub KEY [-meta FILE]
+  analyze -data FILE -sub KEY -app NAME [-sched locality|datanet|maxflow|lpt] [-skip]
+  top     -data FILE [-n N] | -meta FILE [-n N]
+  verify  -data FILE -meta FILE [-samples N]`)
+	os.Exit(2)
+}
+
+// commonFlags registers the flags every subcommand shares and returns a
+// loader that materializes the cluster + filesystem.
+type common struct {
+	fs     *flag.FlagSet
+	data   *string
+	block  *int64
+	nodes  *int
+	racks  *int
+	seed   *int64
+	loaded []records.Record
+}
+
+func newCommon(name string) *common {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &common{
+		fs:    fs,
+		data:  fs.String("data", "", "dataset file from cmd/datagen"),
+		block: fs.Int64("block", 256<<10, "HDFS block size in bytes"),
+		nodes: fs.Int("nodes", 32, "cluster size"),
+		racks: fs.Int("racks", 4, "rack count"),
+		seed:  fs.Int64("seed", 1, "placement seed"),
+	}
+}
+
+func (c *common) load() (*datanet.FileSystem, error) {
+	if *c.data == "" {
+		return nil, fmt.Errorf("-data is required")
+	}
+	f, err := os.Open(*c.data)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := records.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	c.loaded = recs
+	topo := datanet.NewScaledCluster(*c.nodes, *c.racks, *c.block)
+	hfs, err := datanet.NewFileSystem(topo, datanet.FSConfig{BlockSize: *c.block, Seed: *c.seed})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := hfs.Write("data", recs); err != nil {
+		return nil, err
+	}
+	return hfs, nil
+}
+
+func runBuild(args []string) error {
+	c := newCommon("build")
+	metaOut := c.fs.String("meta", "", "output path for the encoded ElasticMap array")
+	alpha := c.fs.Float64("alpha", 0.3, "hash-map share α")
+	c.fs.Parse(args)
+	hfs, err := c.load()
+	if err != nil {
+		return err
+	}
+	meta, err := datanet.BuildMeta(hfs, "data", datanet.MetaOptions{Alpha: *alpha})
+	if err != nil {
+		return err
+	}
+	info, _ := hfs.Stat("data")
+	fmt.Printf("dataset: %d records, %d blocks\n", info.Records, len(info.Blocks))
+	fmt.Printf("meta-data: %d bytes (raw/meta ratio %.0f, realized α %.1f%%)\n",
+		meta.MemoryBytes(), meta.Array().RepresentationRatio(), meta.Array().MeanAlpha()*100)
+	if *metaOut != "" {
+		blob, err := meta.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metaOut, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("encoded meta-data written to %s (%d bytes)\n", *metaOut, len(blob))
+	}
+	return nil
+}
+
+func runQuery(args []string) error {
+	c := newCommon("query")
+	sub := c.fs.String("sub", "", "sub-dataset key")
+	metaIn := c.fs.String("meta", "", "reuse an encoded ElasticMap array")
+	alpha := c.fs.Float64("alpha", 0.3, "hash-map share α when building fresh")
+	c.fs.Parse(args)
+	if *sub == "" {
+		return fmt.Errorf("-sub is required")
+	}
+	hfs, err := c.load()
+	if err != nil {
+		return err
+	}
+	var meta *datanet.Meta
+	if *metaIn != "" {
+		blob, err := os.ReadFile(*metaIn)
+		if err != nil {
+			return err
+		}
+		if meta, err = datanet.DecodeMeta(blob, "data"); err != nil {
+			return err
+		}
+	} else if meta, err = datanet.BuildMeta(hfs, "data", datanet.MetaOptions{Alpha: *alpha}); err != nil {
+		return err
+	}
+	est := meta.Estimate(*sub)
+	truthDist, err := hfs.SubDistribution("data", *sub)
+	if err != nil {
+		return err
+	}
+	var truth int64
+	for _, b := range truthDist {
+		truth += b
+	}
+	fmt.Printf("sub-dataset %q\n", *sub)
+	fmt.Printf("  estimated size: %d bytes (truth %d, %+.1f%%)\n",
+		est, truth, pctDiff(est, truth))
+	weights := meta.Weights(*sub)
+	nonzero := 0
+	for _, w := range weights {
+		if w > 0 {
+			nonzero++
+		}
+	}
+	fmt.Printf("  present in %d of %d blocks per meta-data\n", nonzero, len(weights))
+	fmt.Printf("  per-block distribution (bytes): %s\n", sparkline(weights))
+	return nil
+}
+
+func runAnalyze(args []string) error {
+	c := newCommon("analyze")
+	sub := c.fs.String("sub", "", "sub-dataset key")
+	appName := c.fs.String("app", "wordcount", "wordcount | histogram | movingavg | topk")
+	schedName := c.fs.String("sched", "datanet", "locality | datanet | capacity | maxflow | lpt")
+	skip := c.fs.Bool("skip", false, "skip blocks proven empty of the target")
+	execute := c.fs.Bool("exec", false, "execute the application and print the top output pairs")
+	alpha := c.fs.Float64("alpha", 0.3, "hash-map share α")
+	c.fs.Parse(args)
+	if *sub == "" {
+		return fmt.Errorf("-sub is required")
+	}
+	hfs, err := c.load()
+	if err != nil {
+		return err
+	}
+	var app datanet.App
+	switch *appName {
+	case "wordcount":
+		app = datanet.WordCount()
+	case "histogram":
+		app = datanet.WordHistogram()
+	case "movingavg":
+		app = datanet.MovingAverage(86400)
+	case "topk":
+		app = datanet.TopKSearch(10, "plot twist ending amazing director")
+	default:
+		return fmt.Errorf("unknown app %q", *appName)
+	}
+	var schedID datanet.Scheduler
+	switch *schedName {
+	case "locality":
+		schedID = datanet.SchedulerLocality
+	case "datanet":
+		schedID = datanet.SchedulerDataNet
+	case "capacity":
+		schedID = datanet.SchedulerCapacityAware
+	case "maxflow":
+		schedID = datanet.SchedulerMaxFlow
+	case "lpt":
+		schedID = datanet.SchedulerLPT
+	default:
+		return fmt.Errorf("unknown scheduler %q", *schedName)
+	}
+	var meta *datanet.Meta
+	if schedID != datanet.SchedulerLocality {
+		if meta, err = datanet.BuildMeta(hfs, "data", datanet.MetaOptions{Alpha: *alpha}); err != nil {
+			return err
+		}
+	}
+	res, err := datanet.Job{
+		FS: hfs, File: "data", Target: *sub,
+		App: app, Scheduler: schedID, Meta: meta,
+		SkipEmpty: *skip, Execute: *execute,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %q with %s scheduling\n", app.Name(), *sub, res.SchedulerName)
+	fmt.Printf("  filter phase:   %8.2f s (%d local, %d remote, %d skipped)\n",
+		res.FilterEnd, res.LocalTasks, res.RemoteTasks, res.SkippedBlocks)
+	fmt.Printf("  analysis job:   %8.2f s\n", res.AnalysisTime)
+	fmt.Printf("  total makespan: %8.2f s\n", res.JobTime)
+	var loads []int64
+	for _, w := range res.NodeWorkload {
+		loads = append(loads, w)
+	}
+	fmt.Printf("  per-node workload: %s\n", sparkline(loads))
+	if *execute {
+		printTopOutput(res.Output, 10)
+	}
+	return nil
+}
+
+func runTop(args []string) error {
+	c := newCommon("top")
+	n := c.fs.Int("n", 10, "how many sub-datasets to list")
+	metaIn := c.fs.String("meta", "", "answer from an encoded ElasticMap array instead of scanning the raw data")
+	c.fs.Parse(args)
+	if *metaIn != "" {
+		// Meta-only path: no raw-data scan at all — the point of keeping
+		// the meta-data around.
+		blob, err := os.ReadFile(*metaIn)
+		if err != nil {
+			return err
+		}
+		meta, err := datanet.DecodeMeta(blob, "data")
+		if err != nil {
+			return err
+		}
+		idx := elasticmap.NewIndex(meta.Array())
+		top := idx.Top(*n)
+		fmt.Printf("%d dominant sub-datasets in the meta-data; top %d by recorded volume (no raw scan):\n",
+			idx.DominantSubs(), len(top))
+		for _, e := range top {
+			fmt.Printf("  %-32s %12d bytes\n", e.Sub, e.Bytes)
+		}
+		return nil
+	}
+	if _, err := c.load(); err != nil {
+		return err
+	}
+	totals := records.BySub(c.loaded)
+	type kv struct {
+		sub string
+		sz  int64
+	}
+	all := make([]kv, 0, len(totals))
+	for s, z := range totals {
+		all = append(all, kv{s, z})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sz != all[j].sz {
+			return all[i].sz > all[j].sz
+		}
+		return all[i].sub < all[j].sub
+	})
+	if *n > len(all) {
+		*n = len(all)
+	}
+	fmt.Printf("%d sub-datasets; top %d by volume:\n", len(all), *n)
+	for _, e := range all[:*n] {
+		fmt.Printf("  %-32s %12d bytes\n", e.sub, e.sz)
+	}
+	return nil
+}
+
+// runVerify cross-checks persisted meta-data against the raw dataset:
+// block counts, overall accuracy χ, and per-sub-dataset spot checks.
+func runVerify(args []string) error {
+	c := newCommon("verify")
+	metaIn := c.fs.String("meta", "", "encoded ElasticMap array to verify")
+	samples := c.fs.Int("samples", 10, "how many sub-datasets to spot-check")
+	c.fs.Parse(args)
+	if *metaIn == "" {
+		return fmt.Errorf("-meta is required")
+	}
+	hfs, err := c.load()
+	if err != nil {
+		return err
+	}
+	blob, err := os.ReadFile(*metaIn)
+	if err != nil {
+		return err
+	}
+	meta, err := datanet.DecodeMeta(blob, "data")
+	if err != nil {
+		return err
+	}
+	info, err := hfs.Stat("data")
+	if err != nil {
+		return err
+	}
+	arr := meta.Array()
+	fmt.Printf("meta-data: %d blocks; dataset: %d blocks\n", arr.Len(), len(info.Blocks))
+	if arr.Len() != len(info.Blocks) {
+		return fmt.Errorf("block count mismatch — the meta-data was built for a different layout (block size or dataset)")
+	}
+	truth := records.BySub(c.loaded)
+	subs := make([]string, 0, len(truth))
+	for sub := range truth {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+	chi := arr.OverallAccuracy(subs)
+	fmt.Printf("overall accuracy χ: %.1f%%\n", chi*100)
+
+	// Spot-check the largest sub-datasets: dominant entries must be exact.
+	sort.Slice(subs, func(i, j int) bool {
+		if truth[subs[i]] != truth[subs[j]] {
+			return truth[subs[i]] > truth[subs[j]]
+		}
+		return subs[i] < subs[j]
+	})
+	n := *samples
+	if n > len(subs) {
+		n = len(subs)
+	}
+	worst := 0.0
+	for _, sub := range subs[:n] {
+		est := meta.Estimate(sub)
+		rel := float64(est-truth[sub]) / float64(truth[sub])
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > worst {
+			worst = rel
+		}
+		fmt.Printf("  %-32s truth %10d  estimate %10d  (%+.2f%%)\n",
+			sub, truth[sub], est, pctDiff(est, truth[sub]))
+	}
+	if chi < 0.5 {
+		return fmt.Errorf("verification failed: χ %.1f%% — meta-data does not describe this dataset", chi*100)
+	}
+	fmt.Printf("verified: worst top-%d relative error %.2f%%\n", n, worst*100)
+	return nil
+}
+
+func printTopOutput(out map[string]string, n int) {
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if n > len(keys) {
+		n = len(keys)
+	}
+	fmt.Printf("  output (%d keys, first %d):\n", len(keys), n)
+	for _, k := range keys[:n] {
+		v := out[k]
+		if len(v) > 60 {
+			v = v[:60] + "…"
+		}
+		fmt.Printf("    %-20s %s\n", k, v)
+	}
+}
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+func sparkline(xs []int64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	width := 60
+	if width > len(xs) {
+		width = len(xs)
+	}
+	cells := make([]int64, width)
+	for i := range cells {
+		lo, hi := i*len(xs)/width, (i+1)*len(xs)/width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		mx := xs[lo]
+		for _, v := range xs[lo:hi] {
+			if v > mx {
+				mx = v
+			}
+		}
+		cells[i] = mx
+	}
+	var mn, mx int64 = cells[0], cells[0]
+	for _, v := range cells {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range cells {
+		idx := 0
+		if mx > mn {
+			idx = int(float64(v-mn) / float64(mx-mn) * float64(len(sparkLevels)-1))
+		}
+		sb.WriteRune(sparkLevels[idx])
+	}
+	return sb.String()
+}
+
+func pctDiff(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a-b) / float64(b) * 100
+}

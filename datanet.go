@@ -1,0 +1,268 @@
+// Package datanet is the public API of this DataNet reproduction
+// ("DataNet: A Data Distribution-aware Method for Sub-dataset Analysis On
+// Distributed File Systems", IPDPS 2016).
+//
+// DataNet makes sub-dataset analyses over block-oriented distributed file
+// systems workload-balanced by (1) scanning the raw data once to build an
+// ElasticMap — per-block meta-data that stores dominant sub-dataset sizes
+// exactly in a hash map and non-dominant ones approximately in a Bloom
+// filter — and (2) scheduling block tasks with a distribution-aware
+// algorithm that drives every node toward the average workload.
+//
+// A minimal end-to-end session:
+//
+//	topo := datanet.NewCluster(32, 4)
+//	fs, _ := datanet.NewFileSystem(topo, datanet.FSConfig{})
+//	fs.Write("logs", recs)                       // recs: []datanet.Record
+//	meta, _ := datanet.BuildMeta(fs, "logs", datanet.MetaOptions{})
+//	job := datanet.Job{FS: fs, File: "logs", Target: "movie-00042",
+//	    App: datanet.WordCount(), Scheduler: datanet.SchedulerDataNet, Meta: meta}
+//	result, _ := job.Run()
+//
+// The sub-packages under internal/ implement the substrates (HDFS model,
+// MapReduce engine, generators, statistics); this package re-exports the
+// surface a downstream user needs.
+package datanet
+
+import (
+	"datanet/internal/apps"
+	"datanet/internal/cluster"
+	"datanet/internal/elasticmap"
+	"datanet/internal/hdfs"
+	"datanet/internal/mapreduce"
+	"datanet/internal/records"
+	"datanet/internal/sched"
+)
+
+// Record is one log record; Sub is its sub-dataset key.
+type Record = records.Record
+
+// Topology describes the compute cluster.
+type Topology = cluster.Topology
+
+// NodeID identifies a cluster node.
+type NodeID = cluster.NodeID
+
+// FileSystem is the HDFS-model filesystem.
+type FileSystem = hdfs.FileSystem
+
+// FSConfig configures block size, replication and placement.
+type FSConfig = hdfs.Config
+
+// Block is one stored block with its replica locations.
+type Block = hdfs.Block
+
+// MetaOptions configures ElasticMap construction (α, Bloom false-positive
+// rate, bucket bounds, or a memory budget).
+type MetaOptions = elasticmap.Options
+
+// App is a MapReduce analysis application.
+type App = apps.App
+
+// Result is a completed job's outcome.
+type Result = mapreduce.Result
+
+// NewCluster builds n homogeneous nodes over the given rack count; it
+// panics on invalid sizes (use cluster.NewHomogeneous via the internal
+// package for error returns in library code).
+func NewCluster(n, racks int) *Topology {
+	return cluster.MustHomogeneous(n, racks)
+}
+
+// NewScaledCluster builds n homogeneous nodes whose disk/CPU/network rates
+// are scaled so that processing one block of blockSize bytes takes as long
+// as a 64 MiB block would on Marmot-class hardware. Use it when running
+// scaled-down datasets (small blocks) so the simulated timings keep the
+// paper's proportions instead of being swamped by fixed per-task
+// overheads; it panics on invalid sizes.
+func NewScaledCluster(n, racks int, blockSize int64) *Topology {
+	scale := float64(blockSize) / float64(hdfs.DefaultBlockSize)
+	if scale <= 0 {
+		scale = 1
+	}
+	specs := make([]cluster.Node, n)
+	for i := range specs {
+		specs[i] = cluster.Node{
+			Rack:     i % racks,
+			CPURate:  cluster.DefaultCPURate * scale,
+			DiskRate: cluster.DefaultDiskRate * scale,
+			NetRate:  cluster.DefaultNetRate * scale,
+			Slots:    cluster.DefaultSlots,
+		}
+	}
+	topo, err := cluster.NewHeterogeneous(specs, racks)
+	if err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+// NewFileSystem creates an empty HDFS-model filesystem.
+func NewFileSystem(topo *Topology, cfg FSConfig) (*FileSystem, error) {
+	return hdfs.NewFileSystem(topo, cfg)
+}
+
+// Meta is the ElasticMap array over one file plus the context needed to
+// schedule against it.
+type Meta struct {
+	arr  *elasticmap.Array
+	file string
+}
+
+// BuildMeta scans file's blocks once and constructs its ElasticMap array.
+// When opts.BucketBounds is nil, Fibonacci bucket bounds scaled to the
+// filesystem's block size are used (the paper's 1 kb unit corresponds to
+// 64 MB blocks).
+func BuildMeta(fs *FileSystem, file string, opts MetaOptions) (*Meta, error) {
+	blocks, err := fs.Blocks(file)
+	if err != nil {
+		return nil, err
+	}
+	if opts.BucketBounds == nil {
+		opts.BucketBounds = elasticmap.ScaledFibonacciBounds(fs.Config().BlockSize)
+	}
+	perBlock := make([][]records.Record, len(blocks))
+	for i, b := range blocks {
+		perBlock[i] = b.Records
+	}
+	return &Meta{arr: elasticmap.Build(perBlock, opts), file: file}, nil
+}
+
+// Array exposes the underlying ElasticMap array.
+func (m *Meta) Array() *elasticmap.Array { return m.arr }
+
+// Estimate returns the Eq.-6 total-size estimate of a sub-dataset.
+func (m *Meta) Estimate(sub string) int64 { return m.arr.Estimate(sub) }
+
+// Weights returns per-block |b ∩ sub| estimates in block order — the
+// scheduler input.
+func (m *Meta) Weights(sub string) []int64 {
+	w := make([]int64, m.arr.Len())
+	for _, be := range m.arr.Distribution(sub) {
+		w[be.Block] = be.Size
+	}
+	return w
+}
+
+// MemoryBytes returns the meta-data footprint.
+func (m *Meta) MemoryBytes() int64 { return m.arr.MemoryBits() / 8 }
+
+// Encode serializes the meta-data for persistence.
+func (m *Meta) Encode() ([]byte, error) { return elasticmap.Encode(m.arr) }
+
+// DecodeMeta reloads meta-data produced by Encode.
+func DecodeMeta(data []byte, file string) (*Meta, error) {
+	arr, err := elasticmap.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Meta{arr: arr, file: file}, nil
+}
+
+// Scheduler selects the task-assignment policy for a job.
+type Scheduler int
+
+// Available schedulers.
+const (
+	// SchedulerLocality is Hadoop's default block-locality scheduling
+	// (the paper's baseline).
+	SchedulerLocality Scheduler = iota
+	// SchedulerDataNet is the paper's Algorithm 1 (requires Meta).
+	SchedulerDataNet
+	// SchedulerCapacityAware is Algorithm 1 with capacity-proportional
+	// targets for heterogeneous clusters.
+	SchedulerCapacityAware
+	// SchedulerMaxFlow is the offline Ford–Fulkerson optimal assignment.
+	SchedulerMaxFlow
+	// SchedulerLPT is the longest-processing-time greedy ablation.
+	SchedulerLPT
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerDataNet:
+		return "datanet"
+	case SchedulerCapacityAware:
+		return "datanet-capacity"
+	case SchedulerMaxFlow:
+		return "maxflow"
+	case SchedulerLPT:
+		return "lpt"
+	default:
+		return "locality"
+	}
+}
+
+func (s Scheduler) factory() sched.Factory {
+	switch s {
+	case SchedulerDataNet:
+		return sched.NewDataNetPicker
+	case SchedulerCapacityAware:
+		return sched.NewCapacityAwarePicker
+	case SchedulerMaxFlow:
+		return sched.NewFlowPicker
+	case SchedulerLPT:
+		return sched.NewLPTPicker
+	default:
+		return sched.NewLocalityPicker
+	}
+}
+
+// Job describes one sub-dataset analysis run.
+type Job struct {
+	// FS and File locate the input.
+	FS   *FileSystem
+	File string
+	// Target is the sub-dataset key to analyze ("" = whole dataset).
+	Target string
+	// App is the analysis application.
+	App App
+	// Scheduler picks the policy; distribution-aware policies need Meta.
+	Scheduler Scheduler
+	// Meta supplies block weights for distribution-aware scheduling.
+	Meta *Meta
+	// SkipEmpty drops blocks the meta-data proves empty of Target.
+	SkipEmpty bool
+	// Execute runs the real Map/Reduce functions and fills Result.Output.
+	Execute bool
+	// Reducers overrides the reduce-task count (default: one per node).
+	Reducers int
+}
+
+// Run executes the job on the simulated engine.
+func (j Job) Run() (*Result, error) {
+	var weights []int64
+	if j.Meta != nil && j.Scheduler != SchedulerLocality {
+		weights = j.Meta.Weights(j.Target)
+	}
+	return mapreduce.Run(mapreduce.Config{
+		FS:         j.FS,
+		File:       j.File,
+		TargetSub:  j.Target,
+		App:        j.App,
+		Picker:     j.Scheduler.factory(),
+		Weights:    weights,
+		SkipEmpty:  j.SkipEmpty && weights != nil,
+		Reducers:   j.Reducers,
+		ExecuteApp: j.Execute,
+	})
+}
+
+// Built-in applications (paper §V-A).
+
+// WordCount counts word occurrences in the target sub-dataset.
+func WordCount() App { return apps.WordCount{} }
+
+// WordHistogram computes the aggregate word-length histogram.
+func WordHistogram() App { return apps.WordHistogram{} }
+
+// MovingAverage smooths the rating series over the given window.
+func MovingAverage(windowSeconds int64) App { return apps.NewMovingAverage(windowSeconds) }
+
+// TopKSearch finds the k records most similar to query.
+func TopKSearch(k int, query string) App { return apps.NewTopKSearch(k, query) }
+
+// Sessionize reconstructs session windows from the target's event stream
+// (the user-sessionization analysis the paper's introduction motivates).
+func Sessionize(gapSeconds int64) App { return apps.NewSessionize(gapSeconds) }

@@ -1,0 +1,111 @@
+package datanet_test
+
+import (
+	"fmt"
+
+	"datanet"
+)
+
+// Example demonstrates the complete DataNet workflow: store a log, scan it
+// once into ElasticMap meta-data, and run a workload-balanced analysis.
+func Example() {
+	topo := datanet.NewCluster(4, 2)
+	fs, err := datanet.NewFileSystem(topo, datanet.FSConfig{BlockSize: 16 << 10, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	// Ten users' log lines; user-0 dominates (content clustering).
+	var recs []datanet.Record
+	for i := 0; i < 400; i++ {
+		user := "user-0"
+		if i%4 == 3 {
+			user = fmt.Sprintf("user-%d", 1+i%9)
+		}
+		recs = append(recs, datanet.Record{
+			Sub:     user,
+			Time:    int64(i),
+			Payload: "alpha beta gamma delta epsilon zeta",
+		})
+	}
+	if _, err := fs.Write("app.log", recs); err != nil {
+		panic(err)
+	}
+
+	meta, err := datanet.BuildMeta(fs, "app.log", datanet.MetaOptions{Alpha: 0.5})
+	if err != nil {
+		panic(err)
+	}
+
+	res, err := datanet.Job{
+		FS: fs, File: "app.log", Target: "user-0",
+		App: datanet.WordCount(), Scheduler: datanet.SchedulerDataNet,
+		Meta: meta, Execute: true,
+	}.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scheduler:", res.SchedulerName)
+	fmt.Println("alpha count:", res.Output["alpha"])
+	// Output:
+	// scheduler: datanet
+	// alpha count: 300
+}
+
+// ExampleMeta_Estimate shows the Eq.-6 size estimator: dominant
+// sub-datasets are recorded exactly.
+func ExampleMeta_Estimate() {
+	topo := datanet.NewCluster(2, 1)
+	fs, _ := datanet.NewFileSystem(topo, datanet.FSConfig{BlockSize: 8 << 10, Replication: 2, Seed: 2})
+	var recs []datanet.Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, datanet.Record{Sub: "hot", Time: int64(i), Payload: "0123456789012345"})
+	}
+	fs.Write("log", recs)
+	meta, _ := datanet.BuildMeta(fs, "log", datanet.MetaOptions{Alpha: 1})
+	var truth int64
+	for _, r := range recs {
+		truth += r.Size()
+	}
+	fmt.Println(meta.Estimate("hot") == truth)
+	// Output:
+	// true
+}
+
+// ExampleMeta_Weights shows the per-block scheduler input derived from the
+// meta-data.
+func ExampleMeta_Weights() {
+	topo := datanet.NewCluster(2, 1)
+	fs, _ := datanet.NewFileSystem(topo, datanet.FSConfig{BlockSize: 4 << 10, Replication: 2, Seed: 3})
+	var recs []datanet.Record
+	for i := 0; i < 200; i++ {
+		sub := "early"
+		if i >= 100 {
+			sub = "late"
+		}
+		recs = append(recs, datanet.Record{Sub: sub, Time: int64(i), Payload: "xxxxxxxxxxxxxxxx"})
+	}
+	fs.Write("log", recs)
+	meta, _ := datanet.BuildMeta(fs, "log", datanet.MetaOptions{Alpha: 1})
+	w := meta.Weights("early")
+	// The "early" sub-dataset lives in the first half of the blocks.
+	fmt.Println(w[0] > 0, w[len(w)-1] == 0)
+	// Output:
+	// true true
+}
+
+// ExampleScheduler_String lists the available scheduling policies.
+func ExampleScheduler_String() {
+	for _, s := range []datanet.Scheduler{
+		datanet.SchedulerLocality, datanet.SchedulerDataNet,
+		datanet.SchedulerCapacityAware, datanet.SchedulerMaxFlow, datanet.SchedulerLPT,
+	} {
+		fmt.Println(s)
+	}
+	// Output:
+	// locality
+	// datanet
+	// datanet-capacity
+	// maxflow
+	// lpt
+}

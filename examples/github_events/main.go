@@ -1,0 +1,89 @@
+// GitHub-events scenario (paper §V-A.4): analyze one event type
+// ("IssueEvent") from an event log whose per-type volume is imbalanced
+// across blocks without being release-clustered. Also demonstrates
+// meta-data persistence: the ElasticMap array is serialized and reloaded,
+// standing in for the paper's "store the meta-data into a database" future
+// work.
+//
+//	go run ./examples/github_events
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datanet"
+)
+
+func main() {
+	topo := datanet.NewScaledCluster(32, 4, 256<<10)
+	fs, err := datanet.NewFileSystem(topo, datanet.FSConfig{BlockSize: 256 << 10, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := datanet.GenerateEventLog(datanet.EventLogConfig{
+		Events:   250000,
+		SpanDays: 120,
+		Seed:     3,
+	})
+	if _, err := fs.Write("gharchive.log", recs); err != nil {
+		log.Fatal(err)
+	}
+
+	meta, err := datanet.BuildMeta(fs, "gharchive.log", datanet.MetaOptions{Alpha: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist and reload the meta-data (it survives independently of the
+	// raw data, so later jobs can schedule without rescanning).
+	blob, err := meta.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := datanet.DecodeMeta(blob, "gharchive.log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("meta-data: %d bytes serialized for %d blocks\n", len(blob), reloaded.Array().Len())
+
+	// Estimated volume per event type, from meta-data alone.
+	fmt.Println("\nestimated sub-dataset sizes (top 8 event types):")
+	for _, typ := range datanet.EventTypes()[:8] {
+		fmt.Printf("  %-32s %10d bytes\n", typ, reloaded.Estimate(typ))
+	}
+
+	// Top-K search over IssueEvent with and without DataNet.
+	const target = "IssueEvent"
+	app := datanet.TopKSearch(10, "opened closed merged issue")
+	base, err := datanet.Job{
+		FS: fs, File: "gharchive.log", Target: target,
+		App: app, Scheduler: datanet.SchedulerLocality,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dn, err := datanet.Job{
+		FS: fs, File: "gharchive.log", Target: target,
+		App: app, Scheduler: datanet.SchedulerDataNet, Meta: reloaded,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	longest := func(r *datanet.Result) float64 {
+		var max float64
+		for _, t := range r.NodeCompute {
+			if t > max {
+				max = t
+			}
+		}
+		return max
+	}
+	fmt.Printf("\n%-22s %14s %16s\n", "scheduler", "analysis (s)", "longest map (s)")
+	fmt.Printf("%-22s %14.2f %16.2f\n", base.SchedulerName, base.AnalysisTime, longest(base))
+	fmt.Printf("%-22s %14.2f %16.2f\n", dn.SchedulerName, dn.AnalysisTime, longest(dn))
+	fmt.Println("\n(the paper reports 125 s vs 107 s for the longest map on its GitHub data;")
+	fmt.Println(" the gain is smaller than on the movie data because event types are not")
+	fmt.Println(" release-clustered — exactly the §V-A.4 observation)")
+}

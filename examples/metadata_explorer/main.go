@@ -1,0 +1,86 @@
+// Metadata explorer: the memory/accuracy trade-off of ElasticMap (paper
+// Table II and Fig. 9). Sweeps the hash-map share α, printing realized α,
+// overall accuracy χ, representation ratio and footprint; then shows how a
+// fixed memory budget picks α automatically, and how estimates track the
+// truth across sub-dataset sizes.
+//
+//	go run ./examples/metadata_explorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"datanet"
+)
+
+func main() {
+	topo := datanet.NewCluster(16, 4)
+	fs, err := datanet.NewFileSystem(topo, datanet.FSConfig{BlockSize: 256 << 10, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := datanet.GenerateMovieLog(datanet.MovieLogConfig{
+		Movies:  1500,
+		Reviews: 120000,
+		Seed:    11,
+	})
+	if _, err := fs.Write("reviews.log", recs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth for the accuracy metric.
+	truth := make(map[string]int64)
+	blocks, _ := fs.Blocks("reviews.log")
+	var subs []string
+	for _, b := range blocks {
+		for sub, sz := range b.SubSizes() {
+			if truth[sub] == 0 {
+				subs = append(subs, sub)
+			}
+			truth[sub] += sz
+		}
+	}
+	sort.Strings(subs)
+
+	fmt.Printf("%8s %12s %12s %12s %12s\n", "α target", "α realized", "accuracy χ", "ratio", "meta-data")
+	for _, alpha := range []float64{0.51, 0.40, 0.31, 0.25, 0.21, 0.10} {
+		meta, err := datanet.BuildMeta(fs, "reviews.log", datanet.MetaOptions{Alpha: alpha})
+		if err != nil {
+			log.Fatal(err)
+		}
+		arr := meta.Array()
+		fmt.Printf("%7.0f%% %11.1f%% %11.1f%% %12.0f %10d B\n",
+			alpha*100, arr.MeanAlpha()*100, arr.OverallAccuracy(subs)*100,
+			arr.RepresentationRatio(), meta.MemoryBytes())
+	}
+
+	// Memory-budget mode: Eq. 5 inverted per block to pick the largest α
+	// that fits the given per-block meta-data budget.
+	fmt.Println("\nmemory-budget mode (budget per block):")
+	for _, budgetKiB := range []int64{1, 2, 4, 8} {
+		meta, err := datanet.BuildMeta(fs, "reviews.log",
+			datanet.MetaOptions{MemoryBudgetBits: budgetKiB * 1024 * 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  budget %2d KiB/block → realized α %5.1f%%, total meta-data %d B\n",
+			budgetKiB, meta.Array().MeanAlpha()*100, meta.MemoryBytes())
+	}
+
+	// Estimate vs truth across the size spectrum (Fig. 9's takeaway).
+	meta, err := datanet.BuildMeta(fs, "reviews.log", datanet.MetaOptions{Alpha: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(subs, func(i, j int) bool { return truth[subs[i]] > truth[subs[j]] })
+	fmt.Println("\nestimate vs truth (largest movies, then a mid-tail one):")
+	show := subs[:5]
+	show = append(show, subs[len(subs)/2])
+	for _, sub := range show {
+		est := meta.Estimate(sub)
+		rel := float64(est-truth[sub]) / float64(truth[sub]) * 100
+		fmt.Printf("  %-14s truth %9d B  estimate %9d B  (%+.1f%%)\n", sub, truth[sub], est, rel)
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: store a log on the simulated HDFS, build DataNet's
+// ElasticMap meta-data with one scan, and run a sub-dataset analysis under
+// both Hadoop's locality scheduler and DataNet's distribution-aware
+// scheduler.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datanet"
+)
+
+func main() {
+	// A 32-node cluster across 4 racks, HDFS-style storage with 1 MiB
+	// blocks and 3-way replication (node rates scaled to keep 64 MiB-block proportions).
+	topo := datanet.NewScaledCluster(32, 4, 256<<10)
+	fs, err := datanet.NewFileSystem(topo, datanet.FSConfig{BlockSize: 256 << 10, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A synthetic movie-review log: 200k reviews of 2000 movies, stored
+	// chronologically — so each movie's reviews cluster around its release.
+	recs := datanet.GenerateMovieLog(datanet.MovieLogConfig{
+		Movies:  2000,
+		Reviews: 200000,
+		Seed:    42,
+	})
+	info, err := fs.Write("reviews.log", recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %d records in %d blocks\n", info.Records, len(info.Blocks))
+
+	// One scan of the raw data builds the ElasticMap array.
+	meta, err := datanet.BuildMeta(fs, "reviews.log", datanet.MetaOptions{Alpha: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := datanet.MovieID(0) // the most-reviewed movie
+	fmt.Printf("meta-data: %d bytes; estimated size of %s: %d bytes\n",
+		meta.MemoryBytes(), target, meta.Estimate(target))
+
+	// Analyze the movie's reviews with Word Count under both schedulers.
+	job := datanet.Job{
+		FS: fs, File: "reviews.log", Target: target,
+		App: datanet.WordCount(), Scheduler: datanet.SchedulerLocality,
+	}
+	baseline, err := job.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	job.Scheduler = datanet.SchedulerDataNet
+	job.Meta = meta
+	balanced, err := job.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %12s %14s\n", "scheduler", "job time", "max node load")
+	for _, r := range []*datanet.Result{baseline, balanced} {
+		var max int64
+		for _, w := range r.NodeWorkload {
+			if w > max {
+				max = w
+			}
+		}
+		fmt.Printf("%-22s %10.2f s %12d B\n", r.SchedulerName, r.AnalysisTime, max)
+	}
+	imp := (baseline.AnalysisTime - balanced.AnalysisTime) / baseline.AnalysisTime
+	fmt.Printf("\nDataNet improvement: %.1f%%\n", imp*100)
+}

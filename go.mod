@@ -1,0 +1,3 @@
+module datanet
+
+go 1.22

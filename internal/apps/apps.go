@@ -1,0 +1,277 @@
+// Package apps implements the four MapReduce analysis jobs the paper
+// evaluates (§V-A): Moving Average, Top K Search, Word Count and Aggregate
+// Word Histogram. Each application provides a real Map/Reduce computation
+// over records (so outputs are verifiable) plus a cost profile that feeds
+// the engine's timing model:
+//
+//   - CostFactor scales CPU time per matched input byte in the map phase
+//     (Top K similarity search is heavy; Moving Average barely more than a
+//     scan — the paper's Fig. 6(b)(c) gap comes from exactly this);
+//   - OutputRatio is map-output bytes per matched input byte, which drives
+//     shuffle volume (Fig. 7).
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"datanet/internal/records"
+)
+
+// Emit receives one intermediate key/value pair from a map invocation.
+type Emit func(key, value string)
+
+// App is one MapReduce analysis job.
+type App interface {
+	// Name identifies the application.
+	Name() string
+	// CostFactor is the relative CPU cost per matched input byte at map
+	// time (1.0 ≈ the engine's calibrated byte-processing rate).
+	CostFactor() float64
+	// OutputRatio is map output volume per matched input byte.
+	OutputRatio() float64
+	// Map processes one record.
+	Map(r records.Record, emit Emit)
+	// Reduce folds all values of one key into a final value.
+	Reduce(key string, values []string) string
+}
+
+// All returns the four paper applications with their default settings.
+func All() []App {
+	return []App{
+		NewMovingAverage(3600 * 24),
+		NewTopKSearch(10, "plot twist ending amazing director"),
+		WordCount{},
+		WordHistogram{},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Moving Average
+
+// MovingAverage smooths the rating series with windowed averages over time
+// intervals ("creating a series of averages over intervals of the full
+// dataset"). The map phase only buckets records, so its compute cost is
+// near pure iteration — the lightest of the four apps.
+type MovingAverage struct {
+	// WindowSeconds is the averaging interval width.
+	WindowSeconds int64
+}
+
+// NewMovingAverage creates the app with the given window.
+func NewMovingAverage(windowSeconds int64) MovingAverage {
+	if windowSeconds <= 0 {
+		windowSeconds = 3600
+	}
+	return MovingAverage{WindowSeconds: windowSeconds}
+}
+
+// Name implements App.
+func (MovingAverage) Name() string { return "MovingAverage" }
+
+// CostFactor implements App.
+func (MovingAverage) CostFactor() float64 { return 0.7 }
+
+// OutputRatio implements App.
+func (MovingAverage) OutputRatio() float64 { return 0.05 }
+
+// Map implements App: emit (window, rating).
+func (a MovingAverage) Map(r records.Record, emit Emit) {
+	w := r.Time / a.WindowSeconds
+	emit(fmt.Sprintf("w%08d", w), strconv.FormatFloat(r.Rating, 'f', 3, 64))
+}
+
+// Reduce implements App: average the ratings in a window.
+func (MovingAverage) Reduce(key string, values []string) string {
+	var sum float64
+	for _, v := range values {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			continue
+		}
+		sum += f
+	}
+	if len(values) == 0 {
+		return "0"
+	}
+	return strconv.FormatFloat(sum/float64(len(values)), 'f', 4, 64)
+}
+
+// ---------------------------------------------------------------------------
+// Top K Search
+
+// TopKSearch finds the K records most similar to a query sequence
+// ("finding K sequences with the most similarity to a given sequence.
+// This algorithm needs heavy computation"). Similarity is token overlap
+// between the record payload and the query.
+type TopKSearch struct {
+	// K is the result count.
+	K int
+	// Query is the target sequence.
+	Query string
+
+	queryTokens map[string]bool
+}
+
+// NewTopKSearch creates the app.
+func NewTopKSearch(k int, query string) TopKSearch {
+	if k <= 0 {
+		k = 10
+	}
+	t := TopKSearch{K: k, Query: query, queryTokens: make(map[string]bool)}
+	for _, tok := range strings.Fields(query) {
+		t.queryTokens[tok] = true
+	}
+	return t
+}
+
+// Name implements App.
+func (TopKSearch) Name() string { return "TopKSearch" }
+
+// CostFactor implements App. Similarity comparison is the heaviest map
+// computation of the four apps.
+func (TopKSearch) CostFactor() float64 { return 5.0 }
+
+// OutputRatio implements App. Only candidate scores leave the mappers.
+func (TopKSearch) OutputRatio() float64 { return 0.02 }
+
+// Map implements App: score the record, emit under a single key so the
+// reducer can take the global top K.
+func (a TopKSearch) Map(r records.Record, emit Emit) {
+	score := 0
+	for _, tok := range strings.Fields(r.Payload) {
+		if a.queryTokens[tok] {
+			score++
+		}
+	}
+	if score > 0 {
+		emit("topk", fmt.Sprintf("%06d|%s@%d", score, r.Sub, r.Time))
+	}
+}
+
+// Reduce implements App: keep the K highest-scoring candidates, rendered
+// as "score|ref" joined by commas, best first.
+func (a TopKSearch) Reduce(key string, values []string) string {
+	sorted := append([]string(nil), values...)
+	sort.Sort(sort.Reverse(sort.StringSlice(sorted))) // zero-padded scores sort lexically
+	k := a.K
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return strings.Join(sorted[:k], ",")
+}
+
+// ---------------------------------------------------------------------------
+// Word Count
+
+// WordCount is the canonical benchmark: count word occurrences in the
+// sub-dataset payloads.
+type WordCount struct{}
+
+// Name implements App.
+func (WordCount) Name() string { return "WordCount" }
+
+// CostFactor implements App: tokenizing plus combining.
+func (WordCount) CostFactor() float64 { return 2.8 }
+
+// OutputRatio implements App: nearly every input word leaves the mapper.
+func (WordCount) OutputRatio() float64 { return 0.5 }
+
+// Map implements App.
+func (WordCount) Map(r records.Record, emit Emit) {
+	for _, tok := range strings.Fields(r.Payload) {
+		emit(tok, "1")
+	}
+}
+
+// Reduce implements App.
+func (WordCount) Reduce(key string, values []string) string {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			continue
+		}
+		total += n
+	}
+	return strconv.Itoa(total)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate Word Histogram
+
+// WordHistogram computes the histogram of word lengths in the input
+// sub-dataset — the paper's "fundamental plug-in operation in the
+// MapReduce framework" (AggregateWordHistogram).
+type WordHistogram struct{}
+
+// Name implements App.
+func (WordHistogram) Name() string { return "WordHistogram" }
+
+// CostFactor implements App.
+func (WordHistogram) CostFactor() float64 { return 3.2 }
+
+// OutputRatio implements App: one small pair per word, smaller than
+// WordCount's full-word keys.
+func (WordHistogram) OutputRatio() float64 { return 0.3 }
+
+// Map implements App: emit (len(word), 1).
+func (WordHistogram) Map(r records.Record, emit Emit) {
+	for _, tok := range strings.Fields(r.Payload) {
+		l := len(tok)
+		if l > 32 {
+			l = 32
+		}
+		emit(fmt.Sprintf("len%02d", l), "1")
+	}
+}
+
+// Reduce implements App.
+func (WordHistogram) Reduce(key string, values []string) string {
+	return WordCount{}.Reduce(key, values)
+}
+
+// ---------------------------------------------------------------------------
+// Sessionization
+
+// Sessionize reconstructs user sessions from a sub-dataset's click/event
+// stream — the paper's introductory motivation ("the analysis on the
+// webpage clicks streams needs to perform user sessionization analysis").
+// Map emits (session-window, 1) per record keyed by the record's time
+// bucketed at Gap; Reduce counts events per session window.
+type Sessionize struct {
+	// Gap is the inactivity threshold that splits sessions, in seconds.
+	Gap int64
+}
+
+// NewSessionize creates the app (default gap: 30 minutes).
+func NewSessionize(gapSeconds int64) Sessionize {
+	if gapSeconds <= 0 {
+		gapSeconds = 1800
+	}
+	return Sessionize{Gap: gapSeconds}
+}
+
+// Name implements App.
+func (Sessionize) Name() string { return "Sessionize" }
+
+// CostFactor implements App: grouping and ordering cost between
+// WordCount's and TopK's.
+func (Sessionize) CostFactor() float64 { return 2.2 }
+
+// OutputRatio implements App.
+func (Sessionize) OutputRatio() float64 { return 0.1 }
+
+// Map implements App: emit the session window the record falls into. With
+// per-sub-dataset filtering upstream, windows approximate sessions of the
+// selected entity.
+func (a Sessionize) Map(r records.Record, emit Emit) {
+	emit(fmt.Sprintf("sess%010d", r.Time/a.Gap), "1")
+}
+
+// Reduce implements App: events per session window.
+func (Sessionize) Reduce(key string, values []string) string {
+	return WordCount{}.Reduce(key, values)
+}

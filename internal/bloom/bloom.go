@@ -1,0 +1,196 @@
+// Package bloom implements the Bloom filter used by ElasticMap to record
+// non-dominant sub-datasets (paper §III-A). It is a classic bitmap filter
+// with double hashing over two FNV-1a digests, plus the sizing math the
+// paper quotes: representing items with false-positive probability ε costs
+// -ln(ε)/ln²(2) bits per item.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+	"math/bits"
+)
+
+// Filter is a Bloom filter. The zero value is not usable; construct with
+// New or NewWithEstimates.
+type Filter struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     uint64 // number of hash functions
+	count uint64 // number of Add calls (approximate item count)
+}
+
+// ErrBadParams reports invalid construction parameters.
+var ErrBadParams = errors.New("bloom: m and k must be positive")
+
+// New creates a filter with m bits and k hash functions.
+func New(m, k uint64) (*Filter, error) {
+	if m == 0 || k == 0 {
+		return nil, ErrBadParams
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}, nil
+}
+
+// NewWithEstimates creates a filter sized for n items at false-positive
+// rate fp using the optimal m = -n·ln(fp)/ln²2 and k = (m/n)·ln2.
+func NewWithEstimates(n uint64, fp float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if fp <= 0 {
+		fp = 1e-9
+	}
+	if fp >= 1 {
+		fp = 0.999
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	if m == 0 {
+		m = 1
+	}
+	k := uint64(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	f, _ := New(m, k)
+	return f
+}
+
+// BitsPerItem returns the paper's Eq.-5 per-item memory cost for a target
+// false-positive rate: -ln(ε)/ln²(2) bits.
+func BitsPerItem(fp float64) float64 {
+	if fp <= 0 || fp >= 1 {
+		return 0
+	}
+	return -math.Log(fp) / (math.Ln2 * math.Ln2)
+}
+
+// baseHashes returns two independent 64-bit digests of data; the k probe
+// positions are derived by double hashing h1 + i*h2.
+func baseHashes(data []byte) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write(data)
+	a := h1.Sum64()
+	h2 := fnv.New64a()
+	var salt [8]byte
+	binary.LittleEndian.PutUint64(salt[:], a)
+	h2.Write(salt[:])
+	h2.Write(data)
+	b := h2.Sum64()
+	if b == 0 {
+		b = 0x9e3779b97f4a7c15
+	}
+	return a, b
+}
+
+// Add inserts data into the filter.
+func (f *Filter) Add(data []byte) {
+	a, b := baseHashes(data)
+	for i := uint64(0); i < f.k; i++ {
+		pos := (a + i*b) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.count++
+}
+
+// AddString inserts a string key.
+func (f *Filter) AddString(s string) { f.Add([]byte(s)) }
+
+// Test reports whether data may be present (no false negatives).
+func (f *Filter) Test(data []byte) bool {
+	a, b := baseHashes(data)
+	for i := uint64(0); i < f.k; i++ {
+		pos := (a + i*b) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestString reports whether a string key may be present.
+func (f *Filter) TestString(s string) bool { return f.Test([]byte(s)) }
+
+// M returns the bit count, K the number of hash functions.
+func (f *Filter) M() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() uint64 { return f.k }
+
+// Count returns the number of Add calls.
+func (f *Filter) Count() uint64 { return f.count }
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+// EstimatedFPRate returns (1 - e^{-kn/m})^k for the current item count.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.count == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.count)/float64(f.m)), float64(f.k))
+}
+
+// SizeBits returns the memory footprint of the bitmap in bits.
+func (f *Filter) SizeBits() uint64 { return f.m }
+
+// Reset clears the filter for reuse.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.count = 0
+}
+
+// Union merges other into f. Both filters must share m and k.
+func (f *Filter) Union(other *Filter) error {
+	if other == nil || f.m != other.m || f.k != other.k {
+		return ErrBadParams
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.count += other.count
+	return nil
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// MarshalBinary encodes the filter (m, k, count, bitmap) for persistence.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 24+8*len(f.bits))
+	binary.LittleEndian.PutUint64(buf[0:], f.m)
+	binary.LittleEndian.PutUint64(buf[8:], f.k)
+	binary.LittleEndian.PutUint64(buf[16:], f.count)
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(buf[24+8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a filter previously encoded by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return errors.New("bloom: short buffer")
+	}
+	m := binary.LittleEndian.Uint64(data[0:])
+	k := binary.LittleEndian.Uint64(data[8:])
+	count := binary.LittleEndian.Uint64(data[16:])
+	words := int((m + 63) / 64)
+	if len(data) != 24+8*words || m == 0 || k == 0 {
+		return errors.New("bloom: corrupt buffer")
+	}
+	bits := make([]uint64, words)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64(data[24+8*i:])
+	}
+	f.m, f.k, f.count, f.bits = m, k, count, bits
+	return nil
+}

@@ -1,0 +1,186 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err != ErrBadParams {
+		t.Errorf("New(0,3) err = %v, want ErrBadParams", err)
+	}
+	if _, err := New(64, 0); err != ErrBadParams {
+		t.Errorf("New(64,0) err = %v, want ErrBadParams", err)
+	}
+	f, err := New(128, 3)
+	if err != nil || f.M() != 128 || f.K() != 3 {
+		t.Fatalf("New(128,3) = %v, %v", f, err)
+	}
+}
+
+// The defining Bloom filter property: no false negatives, ever.
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.TestString(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestNoFalseNegativesQuick(t *testing.T) {
+	f := NewWithEstimates(500, 0.05)
+	seen := make(map[string]bool)
+	if err := quick.Check(func(key []byte) bool {
+		f.Add(key)
+		seen[string(key)] = true
+		for k := range seen {
+			if !f.Test([]byte(k)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n, fp = 5000, 0.01
+	f := NewWithEstimates(n, fp)
+	for i := 0; i < n; i++ {
+		f.AddString(fmt.Sprintf("present-%d", i))
+	}
+	falsePos := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.TestString(fmt.Sprintf("absent-%d", i)) {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / probes
+	if rate > 3*fp {
+		t.Errorf("observed FP rate %g exceeds 3× target %g", rate, fp)
+	}
+	if est := f.EstimatedFPRate(); math.Abs(est-rate) > 0.02 {
+		t.Errorf("estimated FP %g vs observed %g", est, rate)
+	}
+}
+
+func TestBitsPerItem(t *testing.T) {
+	// Paper: ~10 bits per item at a typical configuration (ε ≈ 0.8%..1%).
+	got := BitsPerItem(0.01)
+	if got < 9 || got > 10 {
+		t.Errorf("BitsPerItem(0.01) = %g, want ≈9.6", got)
+	}
+	if BitsPerItem(0) != 0 || BitsPerItem(1) != 0 {
+		t.Error("degenerate fp rates must cost 0")
+	}
+}
+
+func TestNewWithEstimatesDegenerate(t *testing.T) {
+	for _, c := range []struct {
+		n  uint64
+		fp float64
+	}{{0, 0.01}, {10, 0}, {10, 2}} {
+		f := NewWithEstimates(c.n, c.fp)
+		if f == nil || f.M() == 0 || f.K() == 0 {
+			t.Errorf("NewWithEstimates(%d, %g) produced unusable filter", c.n, c.fp)
+		}
+	}
+}
+
+func TestCountAndFillRatio(t *testing.T) {
+	f := NewWithEstimates(100, 0.01)
+	if f.Count() != 0 || f.FillRatio() != 0 {
+		t.Error("fresh filter should be empty")
+	}
+	f.AddString("a")
+	f.AddString("b")
+	if f.Count() != 2 {
+		t.Errorf("Count = %d, want 2", f.Count())
+	}
+	if fr := f.FillRatio(); fr <= 0 || fr > float64(2*f.K())/float64(f.M()) {
+		t.Errorf("FillRatio = %g out of expected bounds", fr)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := NewWithEstimates(10, 0.01)
+	f.AddString("x")
+	f.Reset()
+	if f.Count() != 0 || f.FillRatio() != 0 || f.TestString("x") {
+		t.Error("Reset did not clear the filter")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewWithEstimates(100, 0.01)
+	b, _ := New(a.M(), a.K())
+	a.AddString("left")
+	b.AddString("right")
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.TestString("left") || !a.TestString("right") {
+		t.Error("union lost elements")
+	}
+	mismatch, _ := New(64, 2)
+	if err := a.Union(mismatch); err == nil {
+		t.Error("union of mismatched filters must fail")
+	}
+	if err := a.Union(nil); err == nil {
+		t.Error("union with nil must fail")
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	f := NewWithEstimates(200, 0.02)
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	for _, k := range keys {
+		f.AddString(k)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != f.M() || g.K() != f.K() || g.Count() != f.Count() {
+		t.Fatalf("roundtrip mismatch: %d/%d/%d vs %d/%d/%d", g.M(), g.K(), g.Count(), f.M(), f.K(), f.Count())
+	}
+	for _, k := range keys {
+		if !g.TestString(k) {
+			t.Errorf("roundtrip lost %q", k)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	var f Filter
+	if err := f.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer must fail")
+	}
+	good, _ := NewWithEstimates(10, 0.01).MarshalBinary()
+	if err := f.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("truncated buffer must fail")
+	}
+}
+
+func TestBaseHashesDistinct(t *testing.T) {
+	a1, b1 := baseHashes([]byte("x"))
+	a2, b2 := baseHashes([]byte("y"))
+	if a1 == a2 && b1 == b2 {
+		t.Error("different keys hash identically")
+	}
+	if _, b := baseHashes([]byte{}); b == 0 {
+		t.Error("second hash must never be zero (double hashing degenerates)")
+	}
+}

@@ -1,0 +1,139 @@
+package elasticmap
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"datanet/internal/records"
+)
+
+// BuildParallel constructs the ElasticMap array scanning blocks
+// concurrently with up to `workers` goroutines (NumCPU when workers <= 0).
+// Each block's meta-data is independent, so the build parallelizes
+// embarrassingly; results are identical to Build for the same inputs.
+//
+// On the master node of a real deployment this is the construction path:
+// the single sequential scan the paper counts (O(records) work) spread
+// over cores.
+func BuildParallel(blocks [][]records.Record, opts Options, workers int) *Array {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	metas := make([]*BlockMeta, len(blocks))
+	if workers <= 1 {
+		for i, recs := range blocks {
+			metas[i] = BuildBlockMeta(recs, opts)
+		}
+		return FromMetas(metas, opts)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				metas[i] = BuildBlockMeta(blocks[i], opts)
+			}
+		}()
+	}
+	for i := range blocks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return FromMetas(metas, opts)
+}
+
+// Append extends the array with meta-data for newly written blocks —
+// incremental maintenance as a log grows (new HDFS blocks are immutable
+// once closed, so existing metas never change).
+func (a *Array) Append(blocks [][]records.Record) {
+	for _, recs := range blocks {
+		a.metas = append(a.metas, BuildBlockMeta(recs, a.opts))
+	}
+}
+
+// Merge concatenates two arrays built with compatible options (block order:
+// a's blocks then b's). It returns a new array; inputs are unchanged.
+func Merge(a, b *Array) *Array {
+	metas := make([]*BlockMeta, 0, len(a.metas)+len(b.metas))
+	metas = append(metas, a.metas...)
+	metas = append(metas, b.metas...)
+	return FromMetas(metas, a.opts)
+}
+
+// Index is an inverted view of an Array: sub-dataset key → block estimates,
+// for workloads that query many sub-datasets against the same array (the
+// scheduler's per-job query path touches one key; interactive exploration
+// touches thousands). Only hash-resident (dominant) entries can be
+// inverted — Bloom filters are not enumerable — so Index answers
+// DominantDistribution; callers needing Bloom-approximate tails fall back
+// to Array.Distribution.
+type Index struct {
+	arr      *Array
+	dominant map[string][]BlockEstimate
+}
+
+// NewIndex builds the inverted index in one pass over the hash maps.
+func NewIndex(arr *Array) *Index {
+	idx := &Index{arr: arr, dominant: make(map[string][]BlockEstimate)}
+	for i, m := range arr.metas {
+		for sub, sz := range m.hash {
+			idx.dominant[sub] = append(idx.dominant[sub], BlockEstimate{Block: i, Size: sz, Class: Hashed})
+		}
+	}
+	return idx
+}
+
+// DominantDistribution returns the exactly-recorded per-block sizes of sub
+// (ascending block order — hash maps are scanned in block order).
+func (ix *Index) DominantDistribution(sub string) []BlockEstimate {
+	return ix.dominant[sub]
+}
+
+// DominantSubs returns the number of distinct dominant keys indexed.
+func (ix *Index) DominantSubs() int { return len(ix.dominant) }
+
+// EstimateDominant sums the exactly-recorded sizes of sub (a lower bound
+// of the Eq.-6 estimate that skips Bloom probing entirely).
+func (ix *Index) EstimateDominant(sub string) int64 {
+	var t int64
+	for _, be := range ix.dominant[sub] {
+		t += be.Size
+	}
+	return t
+}
+
+// TopEntry is one row of Top.
+type TopEntry struct {
+	Sub   string
+	Bytes int64 // dominant (hash-resident) bytes
+}
+
+// Top returns the n largest sub-datasets by dominant volume — answering
+// "what's big in this file?" from meta-data alone, without touching raw
+// blocks. Ties break lexicographically for determinism.
+func (ix *Index) Top(n int) []TopEntry {
+	entries := make([]TopEntry, 0, len(ix.dominant))
+	for sub := range ix.dominant {
+		entries = append(entries, TopEntry{Sub: sub, Bytes: ix.EstimateDominant(sub)})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Bytes != entries[j].Bytes {
+			return entries[i].Bytes > entries[j].Bytes
+		}
+		return entries[i].Sub < entries[j].Sub
+	})
+	if n > len(entries) {
+		n = len(entries)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return entries[:n]
+}

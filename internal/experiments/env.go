@@ -1,0 +1,274 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§II and §V) on the simulated substrate. Each experiment is a
+// pure function of its parameters (all randomness is seeded), returns a
+// structured result, and renders itself as text; cmd/datanet-bench runs
+// the full suite and EXPERIMENTS.md records paper-vs-measured values.
+//
+// Scaling note: the paper stores 64 MB blocks on a 128-node testbed. The
+// experiments here default to smaller blocks (256 KiB) so the suite runs
+// in seconds, and scale the simulated node rates by the same factor, so
+// per-task durations remain comparable to 64 MB blocks on Marmot-class
+// hardware. The distributional shapes — who wins, by what factor, where
+// crossovers fall — are invariant under this scaling.
+package experiments
+
+import (
+	"fmt"
+
+	"datanet/internal/apps"
+	"datanet/internal/cluster"
+	"datanet/internal/elasticmap"
+	"datanet/internal/gen"
+	"datanet/internal/hdfs"
+	"datanet/internal/mapreduce"
+	"datanet/internal/records"
+	"datanet/internal/sched"
+)
+
+// MovieParams sizes the movie-review environment (the paper's main
+// dataset: "movie ratings and reviews stored in chronological order",
+// 256 blocks, 32 analysis nodes).
+type MovieParams struct {
+	Nodes      int
+	Racks      int
+	Blocks     int   // target block count
+	BlockBytes int64 // block size (scaled; see package comment)
+	Movies     int
+	Alpha      float64
+	Seed       int64
+}
+
+// DefaultMovieParams mirrors the paper's §V-A configuration at simulation
+// scale.
+func DefaultMovieParams() MovieParams {
+	return MovieParams{
+		Nodes:      32,
+		Racks:      4,
+		Blocks:     256,
+		BlockBytes: 256 << 10,
+		Movies:     2000,
+		Alpha:      elasticmap.DefaultAlpha,
+		Seed:       42,
+	}
+}
+
+// EventParams sizes the GitHub-event environment (§V-A.4).
+type EventParams struct {
+	Nodes      int
+	Racks      int
+	Blocks     int
+	BlockBytes int64
+	Alpha      float64
+	Seed       int64
+}
+
+// DefaultEventParams mirrors the paper's GitHub experiment at simulation
+// scale (the paper's 34 GB / 128 blocks shown).
+func DefaultEventParams() EventParams {
+	return EventParams{
+		Nodes:      32,
+		Racks:      4,
+		Blocks:     128,
+		BlockBytes: 256 << 10,
+		Alpha:      elasticmap.DefaultAlpha,
+		Seed:       7,
+	}
+}
+
+// Env is a fully materialized experiment environment: cluster, filesystem,
+// dataset, ElasticMap array and ground truth.
+type Env struct {
+	Topo   *cluster.Topology
+	FS     *hdfs.FileSystem
+	File   string
+	Array  *elasticmap.Array
+	Target string // the analyzed sub-dataset
+	// Truth maps sub-dataset -> total bytes (ground truth).
+	Truth map[string]int64
+	// BlockTruth holds per-block ground-truth sizes of Target.
+	BlockTruth []int64
+	// Opts is the ElasticMap configuration in force.
+	Opts elasticmap.Options
+}
+
+// scaledTopology builds n nodes whose rates are scaled so a block of
+// blockBytes takes as long as a 64 MiB block would on default hardware.
+func scaledTopology(n, racks int, blockBytes int64) (*cluster.Topology, error) {
+	scale := float64(blockBytes) / float64(hdfs.DefaultBlockSize)
+	specs := make([]cluster.Node, n)
+	for i := range specs {
+		specs[i] = cluster.Node{
+			Rack:     i % racks,
+			CPURate:  cluster.DefaultCPURate * scale,
+			DiskRate: cluster.DefaultDiskRate * scale,
+			NetRate:  cluster.DefaultNetRate * scale,
+			Slots:    cluster.DefaultSlots,
+		}
+	}
+	return cluster.NewHeterogeneous(specs, racks)
+}
+
+// buildEnv stores recs on a fresh filesystem and constructs the ElasticMap
+// array plus ground truth.
+func buildEnv(recs []records.Record, nodes, racks int, blockBytes int64, alpha float64, seed int64, target string) (*Env, error) {
+	topo, err := scaledTopology(nodes, racks, blockBytes)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := hdfs.NewFileSystem(topo, hdfs.Config{
+		BlockSize:   blockBytes,
+		Replication: hdfs.DefaultReplication,
+		Placement:   hdfs.RandomPlacement{},
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	const file = "dataset.log"
+	if _, err := fs.Write(file, recs); err != nil {
+		return nil, err
+	}
+	blocks, err := fs.Blocks(file)
+	if err != nil {
+		return nil, err
+	}
+	opts := elasticmap.Options{Alpha: alpha, BucketBounds: elasticmap.ScaledFibonacciBounds(blockBytes)}
+	perBlock := make([][]records.Record, len(blocks))
+	for i, b := range blocks {
+		perBlock[i] = b.Records
+	}
+	arr := elasticmap.Build(perBlock, opts)
+
+	env := &Env{
+		Topo:   topo,
+		FS:     fs,
+		File:   file,
+		Array:  arr,
+		Target: target,
+		Truth:  records.BySub(recs),
+		Opts:   opts,
+	}
+	env.BlockTruth, err = fs.SubDistribution(file, target)
+	if err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// NewMovieEnv generates the movie-review dataset sized for p and builds
+// the environment. The target sub-dataset is the most-reviewed movie
+// (rank 0 in the Zipf popularity), whose reviews cluster around its
+// release — the paper's running example.
+func NewMovieEnv(p MovieParams) (*Env, error) {
+	if p.Nodes <= 0 {
+		p = DefaultMovieParams()
+	}
+	// Size the review count so the dataset fills ~p.Blocks blocks; the
+	// mean generated record measures ≈ 305 bytes on disk.
+	const meanRecordBytes = 305
+	reviews := int(p.BlockBytes) * p.Blocks / meanRecordBytes
+	recs := gen.Movies(gen.MovieConfig{
+		Movies:   p.Movies,
+		Reviews:  reviews,
+		SpanDays: 365,
+		Seed:     p.Seed,
+	})
+	return buildEnv(recs, p.Nodes, p.Racks, p.BlockBytes, p.Alpha, p.Seed, gen.MovieID(0))
+}
+
+// NewEventEnv generates the GitHub-style event dataset and builds the
+// environment targeting "IssueEvent" as in §V-A.4.
+func NewEventEnv(p EventParams) (*Env, error) {
+	if p.Nodes <= 0 {
+		p = DefaultEventParams()
+	}
+	const meanRecordBytes = 271
+	events := int(p.BlockBytes) * p.Blocks / meanRecordBytes
+	recs := gen.Events(gen.EventConfig{
+		Events:   events,
+		SpanDays: 120,
+		Seed:     p.Seed,
+	})
+	return buildEnv(recs, p.Nodes, p.Racks, p.BlockBytes, p.Alpha, p.Seed, "IssueEvent")
+}
+
+// EstimatedWeights returns the per-block |b ∩ sub| estimates from the
+// ElasticMap array — the knowledge DataNet's scheduler consumes.
+func (e *Env) EstimatedWeights(sub string) []int64 {
+	w := make([]int64, e.Array.Len())
+	for _, be := range e.Array.Distribution(sub) {
+		w[be.Block] = be.Size
+	}
+	return w
+}
+
+// TruthWeights returns the ground-truth per-block sizes of sub.
+func (e *Env) TruthWeights(sub string) ([]int64, error) {
+	return e.FS.SubDistribution(e.File, sub)
+}
+
+// RunBaseline runs app on the target sub-dataset under Hadoop's locality
+// scheduler with no distribution knowledge ("without DataNet").
+func (e *Env) RunBaseline(app apps.App) (*mapreduce.Result, error) {
+	return mapreduce.Run(mapreduce.Config{
+		FS:        e.FS,
+		File:      e.File,
+		TargetSub: e.Target,
+		App:       app,
+		Picker:    sched.NewLocalityPicker,
+	})
+}
+
+// RunDataNet runs app under Algorithm 1 with ElasticMap-estimated weights
+// ("with DataNet"). Empty-block skipping (§V-B's I/O saving) is off here
+// to match the paper's main comparison; use RunWith for skip-enabled runs.
+func (e *Env) RunDataNet(app apps.App) (*mapreduce.Result, error) {
+	return mapreduce.Run(mapreduce.Config{
+		FS:        e.FS,
+		File:      e.File,
+		TargetSub: e.Target,
+		App:       app,
+		Picker:    sched.NewDataNetPicker,
+		Weights:   e.EstimatedWeights(e.Target),
+	})
+}
+
+// RunWith runs app with an arbitrary picker factory and optional weights.
+func (e *Env) RunWith(app apps.App, factory sched.Factory, weights []int64, skipEmpty bool) (*mapreduce.Result, error) {
+	return mapreduce.Run(mapreduce.Config{
+		FS:        e.FS,
+		File:      e.File,
+		TargetSub: e.Target,
+		App:       app,
+		Picker:    factory,
+		Weights:   weights,
+		SkipEmpty: skipEmpty,
+	})
+}
+
+// NodeSeries converts a per-node map into a dense slice ordered by node id.
+func NodeSeries[T int64 | float64](topo *cluster.Topology, m map[cluster.NodeID]T) []float64 {
+	out := make([]float64, topo.N())
+	for id, v := range m {
+		out[int(id)] = float64(v)
+	}
+	return out
+}
+
+// describe formats an env for report headers.
+func (e *Env) describe() string {
+	info, _ := e.FS.Stat(e.File)
+	return fmt.Sprintf("%d nodes, %d blocks × %s, %d records, target %q",
+		e.Topo.N(), len(info.Blocks), metricsBytes(e.FS.Config().BlockSize), info.Records, e.Target)
+}
+
+func metricsBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%d MiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%d KiB", n>>10)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

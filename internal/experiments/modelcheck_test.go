@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelCheck(t *testing.T) {
+	env := smallEnv(t)
+	r, err := ModelCheck(env, []float64{0.2, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Eq. 5 evaluated at the realized α must match the accounting to
+		// within rounding (the Bloom side allocates whole filters).
+		if row.RelErr > 0.05 {
+			t.Errorf("α=%.1f: model %.0f vs actual %d (%.1f%% off)",
+				row.Alpha, row.ModelBits, row.ActualBits, row.RelErr*100)
+		}
+		if row.ActualBits <= 0 {
+			t.Errorf("α=%.1f: actual bits %d", row.Alpha, row.ActualBits)
+		}
+	}
+	// More hashing costs more memory.
+	if r.Rows[1].ActualBits <= r.Rows[0].ActualBits {
+		t.Error("memory not increasing with α")
+	}
+	// The paper-scale block reaches a Table-II-order representation ratio.
+	if r.PaperScaleRatio < 500 {
+		t.Errorf("paper-scale ratio = %.0f, expected Table-II order (>500)", r.PaperScaleRatio)
+	}
+	if r.PaperScaleChi < 0.7 || r.PaperScaleChi > 1 {
+		t.Errorf("paper-scale χ = %.2f", r.PaperScaleChi)
+	}
+	if !strings.Contains(r.String(), "Eq. 5") {
+		t.Error("String() missing caption")
+	}
+}
+
+func TestPlacementComparison(t *testing.T) {
+	p := smallMovie()
+	r, err := Placement(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range r.Rows {
+		names[row.Policy] = true
+		if row.StorageCV < 0 {
+			t.Errorf("%s: negative CV", row.Policy)
+		}
+		// DataNet must not be (meaningfully) worse than the baseline under
+		// any placement.
+		if row.DataNetMaxAvg > row.BaselineMaxAvg*1.1 {
+			t.Errorf("%s: datanet %.2f worse than baseline %.2f",
+				row.Policy, row.DataNetMaxAvg, row.BaselineMaxAvg)
+		}
+	}
+	for _, want := range []string{"random", "rack-aware", "round-robin"} {
+		if !names[want] {
+			t.Errorf("missing policy %s", want)
+		}
+	}
+	// Round-robin spreads storage most evenly.
+	var rr, rnd float64
+	for _, row := range r.Rows {
+		switch row.Policy {
+		case "round-robin":
+			rr = row.StorageCV
+		case "random":
+			rnd = row.StorageCV
+		}
+	}
+	if rr >= rnd {
+		t.Errorf("round-robin CV %.3f not below random %.3f", rr, rnd)
+	}
+	if !strings.Contains(r.String(), "placement") {
+		t.Error("String() missing caption")
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"datanet/internal/apps"
+	"datanet/internal/elasticmap"
+	"datanet/internal/gen"
+	"datanet/internal/hdfs"
+	"datanet/internal/metrics"
+	"datanet/internal/records"
+	"datanet/internal/stats"
+)
+
+// ReplicationRow is one replication factor's outcome.
+type ReplicationRow struct {
+	Replication     int
+	BaselineMaxAvg  float64
+	DataNetMaxAvg   float64
+	DataNetLocal    float64 // fraction of tasks run on a replica holder
+	TopKImprovement float64
+}
+
+// ReplicationResult sweeps the HDFS replication factor. Each extra replica
+// adds an edge per block to the bipartite graph (§IV-A), widening the
+// locality-preserving assignments Algorithm 1 can choose from: replication
+// 1 forces every block to one fixed node (scheduling is moot), 3 (the
+// paper's setting) already gives near-balanced local-only packings, and
+// higher factors buy little more.
+type ReplicationResult struct {
+	Rows []ReplicationRow
+}
+
+// Replication runs the sweep (default factors 1, 2, 3, 5).
+func Replication(factors []int, p MovieParams) (*ReplicationResult, error) {
+	if p.Nodes == 0 {
+		p = DefaultMovieParams()
+	}
+	if len(factors) == 0 {
+		factors = []int{1, 2, 3, 5}
+	}
+	const meanRecordBytes = 305
+	recs := gen.Movies(gen.MovieConfig{
+		Movies:   p.Movies,
+		Reviews:  int(p.BlockBytes) * p.Blocks / meanRecordBytes,
+		SpanDays: 365,
+		Seed:     p.Seed,
+	})
+	app := apps.NewTopKSearch(10, "plot twist ending amazing director")
+	res := &ReplicationResult{}
+	for _, rf := range factors {
+		topo, err := scaledTopology(p.Nodes, p.Racks, p.BlockBytes)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := hdfs.NewFileSystem(topo, hdfs.Config{
+			BlockSize: p.BlockBytes, Replication: rf, Seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fs.Write("data", recs); err != nil {
+			return nil, err
+		}
+		env := &Env{Topo: topo, FS: fs, File: "data", Target: gen.MovieID(0)}
+		blocks, err := fs.Blocks("data")
+		if err != nil {
+			return nil, err
+		}
+		perBlock := make([][]records.Record, len(blocks))
+		for i, b := range blocks {
+			perBlock[i] = b.Records
+		}
+		env.Array = elasticmap.Build(perBlock, elasticmap.Options{
+			Alpha:        p.Alpha,
+			BucketBounds: elasticmap.ScaledFibonacciBounds(p.BlockBytes),
+		})
+		env.BlockTruth, err = fs.SubDistribution("data", env.Target)
+		if err != nil {
+			return nil, err
+		}
+		base, err := env.RunBaseline(app)
+		if err != nil {
+			return nil, err
+		}
+		dn, err := env.RunDataNet(app)
+		if err != nil {
+			return nil, err
+		}
+		row := ReplicationRow{Replication: rf}
+		row.BaselineMaxAvg = stats.Summarize(NodeSeries(topo, base.NodeWorkload)).ImbalanceRatio()
+		row.DataNetMaxAvg = stats.Summarize(NodeSeries(topo, dn.NodeWorkload)).ImbalanceRatio()
+		if dn.LocalTasks+dn.RemoteTasks > 0 {
+			row.DataNetLocal = float64(dn.LocalTasks) / float64(dn.LocalTasks+dn.RemoteTasks)
+		}
+		if base.AnalysisTime > 0 {
+			row.TopKImprovement = (base.AnalysisTime - dn.AnalysisTime) / base.AnalysisTime
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *ReplicationResult) String() string {
+	t := metrics.NewTable("Extension — replication factor shapes the bipartite graph (§IV-A)",
+		"replication", "baseline max/avg", "datanet max/avg", "datanet local tasks", "TopK improvement")
+	for _, row := range r.Rows {
+		t.Add(fmt.Sprint(row.Replication), fmt.Sprintf("%.2f", row.BaselineMaxAvg),
+			fmt.Sprintf("%.2f", row.DataNetMaxAvg), metrics.Pct(row.DataNetLocal),
+			metrics.Pct(row.TopKImprovement))
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteString("  (each replica adds an edge per block: more placement freedom, better locality-preserving balance)\n")
+	return sb.String()
+}

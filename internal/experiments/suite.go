@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"datanet/internal/stats"
+)
+
+// RunSuite executes every paper experiment in order and streams the
+// rendered results to w. It shares one movie environment across the
+// experiments that the paper derives from the same runs (Fig. 5–7, Tables
+// I–II, Fig. 9–10, the migration analysis), exactly as the paper does.
+func RunSuite(w io.Writer) error {
+	section := func(s fmt.Stringer, err error) error {
+		if err != nil {
+			return err
+		}
+		_, werr := fmt.Fprintln(w, s.String())
+		return werr
+	}
+
+	// Figure 1 (its own 128-block env, as in the paper's intro example).
+	f1p := DefaultMovieParams()
+	f1p.Blocks = 128
+	r1, err := Fig1(f1p)
+	if err := section(r1, err); err != nil {
+		return err
+	}
+
+	// Figure 2 (analytic).
+	if _, err := fmt.Fprintln(w, Fig2(stats.Gamma{}, 0, nil).String()); err != nil {
+		return err
+	}
+
+	// Shared 256-block movie environment.
+	env, err := NewMovieEnv(DefaultMovieParams())
+	if err != nil {
+		return err
+	}
+
+	t1, err := Table1(env)
+	if err := section(t1, err); err != nil {
+		return err
+	}
+	f5, err := Fig5WithEnv(env)
+	if err := section(f5, err); err != nil {
+		return err
+	}
+	f6, err := Fig6(env)
+	if err := section(f6, err); err != nil {
+		return err
+	}
+	f7, err := Fig7(env)
+	if err := section(f7, err); err != nil {
+		return err
+	}
+	f8, err := Fig8(EventParams{})
+	if err := section(f8, err); err != nil {
+		return err
+	}
+	t2, err := Table2(env, nil)
+	if err := section(t2, err); err != nil {
+		return err
+	}
+	f9, err := Fig9(env, 50)
+	if err := section(f9, err); err != nil {
+		return err
+	}
+	f10, err := Fig10(env, nil)
+	if err := section(f10, err); err != nil {
+		return err
+	}
+	mig, err := Migration(env)
+	if err := section(mig, err); err != nil {
+		return err
+	}
+	ba, err := BucketAblation(env)
+	if err := section(ba, err); err != nil {
+		return err
+	}
+	sa, err := SchedulerAblation(env)
+	if err := section(sa, err); err != nil {
+		return err
+	}
+
+	// Extension experiments (beyond the paper's figures; DESIGN.md §5-6).
+	th, err := Theory(stats.Gamma{}, 0, 0, 3)
+	if err := section(th, err); err != nil {
+		return err
+	}
+	sw, err := ClusterSweep(nil, MovieParams{})
+	if err := section(sw, err); err != nil {
+		return err
+	}
+	het, err := Heterogeneity(MovieParams{})
+	if err := section(het, err); err != nil {
+		return err
+	}
+	re, err := Reactive(env)
+	if err := section(re, err); err != nil {
+		return err
+	}
+	io, err := IOSaving(env, nil)
+	if err := section(io, err); err != nil {
+		return err
+	}
+	sel, err := Selectivity(env, nil)
+	if err := section(sel, err); err != nil {
+		return err
+	}
+	wl, err := WebLog(WebLogParams{})
+	if err := section(wl, err); err != nil {
+		return err
+	}
+	pl, err := Placement(MovieParams{})
+	if err := section(pl, err); err != nil {
+		return err
+	}
+	mc, err := ModelCheck(env, nil)
+	if err := section(mc, err); err != nil {
+		return err
+	}
+	ag, err := Aggregation(env, nil)
+	if err := section(ag, err); err != nil {
+		return err
+	}
+	am, err := Amortization(env)
+	if err := section(am, err); err != nil {
+		return err
+	}
+	bsz, err := BlockSize(nil, MovieParams{})
+	if err := section(bsz, err); err != nil {
+		return err
+	}
+	rep, err := Replication(nil, MovieParams{})
+	if err := section(rep, err); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"datanet/internal/records"
+)
+
+func TestMoviesChronological(t *testing.T) {
+	recs := Movies(MovieConfig{Movies: 100, Reviews: 5000, Seed: 1})
+	if len(recs) != 5000 {
+		t.Fatalf("generated %d reviews", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Fatalf("not chronological at %d", i)
+		}
+	}
+}
+
+func TestMoviesDeterministic(t *testing.T) {
+	a := Movies(MovieConfig{Movies: 50, Reviews: 1000, Seed: 7})
+	b := Movies(MovieConfig{Movies: 50, Reviews: 1000, Seed: 7})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different datasets")
+	}
+	c := Movies(MovieConfig{Movies: 50, Reviews: 1000, Seed: 8})
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestMoviesZipfHead(t *testing.T) {
+	recs := Movies(MovieConfig{Movies: 500, Reviews: 20000, Seed: 2})
+	by := records.BySub(recs)
+	// The rank-0 movie must dominate any mid-tail movie.
+	if by[MovieID(0)] <= by[MovieID(250)] {
+		t.Errorf("popularity head missing: movie0=%d movie250=%d", by[MovieID(0)], by[MovieID(250)])
+	}
+}
+
+// Content clustering: most of a movie's reviews concentrate around its
+// release. We verify the top-quartile time window holds a disproportionate
+// share of the target movie's bytes.
+func TestMoviesContentClustering(t *testing.T) {
+	recs := Movies(MovieConfig{Movies: 300, Reviews: 30000, Seed: 3, DecayDays: 8, TailFrac: 0.3})
+	target := MovieID(0)
+	var times []int64
+	for _, r := range recs {
+		if r.Sub == target {
+			times = append(times, r.Time)
+		}
+	}
+	if len(times) < 100 {
+		t.Fatalf("target has only %d reviews", len(times))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	// Half of all reviews must fall within a small fraction of the span.
+	median := times[len(times)/2]
+	first := times[0]
+	span := int64(365 * 86400)
+	if window := median - first; window > span/6 {
+		t.Errorf("half the reviews span %d days — not clustered", window/86400)
+	}
+}
+
+func TestMoviesPayloadHasMovieTag(t *testing.T) {
+	recs := Movies(MovieConfig{Movies: 10, Reviews: 2000, Seed: 4})
+	tagged := 0
+	for _, r := range recs {
+		if r.Sub == MovieID(0) && strings.Contains(r.Payload, "tag0000") {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		t.Error("no movie-specific tokens — TopK similarity has no signal")
+	}
+}
+
+func TestMovieDefaults(t *testing.T) {
+	cfg := MovieConfig{}.withDefaults()
+	if cfg.Movies <= 0 || cfg.Reviews <= 0 || cfg.ZipfS == 0 || cfg.TailFrac <= 0 {
+		t.Errorf("defaults missing: %+v", cfg)
+	}
+	// TailFrac outside [0,1) disabled.
+	if c := (MovieConfig{TailFrac: 2}).withDefaults(); c.TailFrac != 0 {
+		t.Errorf("TailFrac=2 should disable the tail, got %g", c.TailFrac)
+	}
+}
+
+func TestEventsChronologicalAndTyped(t *testing.T) {
+	recs := Events(EventConfig{Events: 8000, Seed: 5})
+	if len(recs) != 8000 {
+		t.Fatalf("generated %d events", len(recs))
+	}
+	types := map[string]bool{}
+	for i, r := range recs {
+		if i > 0 && r.Time < recs[i-1].Time {
+			t.Fatalf("not chronological at %d", i)
+		}
+		types[r.Sub] = true
+	}
+	// The head types must all appear.
+	for _, want := range EventTypes[:8] {
+		if !types[want] {
+			t.Errorf("event type %s never generated", want)
+		}
+	}
+	// Every generated type is a known one.
+	known := map[string]bool{}
+	for _, e := range EventTypes {
+		known[e] = true
+	}
+	for typ := range types {
+		if !known[typ] {
+			t.Errorf("unknown type %q", typ)
+		}
+	}
+}
+
+func TestEventsHeadHeavy(t *testing.T) {
+	recs := Events(EventConfig{Events: 20000, Seed: 6})
+	by := records.BySub(recs)
+	if by["PushEvent"] <= by[EventTypes[len(EventTypes)-1]] {
+		t.Errorf("PushEvent (%d) should dominate the tail type (%d)",
+			by["PushEvent"], by[EventTypes[len(EventTypes)-1]])
+	}
+	// IssueEvent (the paper's target) must be present in volume.
+	if by["IssueEvent"] == 0 {
+		t.Error("IssueEvent absent")
+	}
+}
+
+func TestEventsDeterministic(t *testing.T) {
+	a := Events(EventConfig{Events: 500, Seed: 9})
+	b := Events(EventConfig{Events: 500, Seed: 9})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different event logs")
+	}
+}
+
+func TestGammaBlocks(t *testing.T) {
+	cfg := GammaBlockConfig{Blocks: 32, BlockBytes: 1 << 16, TargetSub: "hot", Seed: 10}
+	blocks := GammaBlocks(cfg)
+	if len(blocks) != 32 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	nonEmpty := 0
+	for i, blk := range blocks {
+		size := records.TotalSize(blk)
+		if size > 1<<16+1024 {
+			t.Errorf("block %d overflows: %d", i, size)
+		}
+		target := records.BySub(blk)["hot"]
+		if target > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 16 {
+		t.Errorf("target present in only %d/32 blocks", nonEmpty)
+	}
+	flat := Flatten(blocks)
+	var want int
+	for _, blk := range blocks {
+		want += len(blk)
+	}
+	if len(flat) != want {
+		t.Errorf("Flatten lost records: %d vs %d", len(flat), want)
+	}
+}
+
+func TestGammaBlocksDefaults(t *testing.T) {
+	cfg := GammaBlockConfig{}.withDefaults()
+	if cfg.Blocks != 128 || cfg.TargetSub != "target" || cfg.Shape != 1.2 || cfg.Scale != 7 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

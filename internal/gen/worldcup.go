@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"datanet/internal/records"
+	"datanet/internal/stats"
+)
+
+// WorldCupConfig drives the web-access-log generator modeled on the
+// WorldCup'98 trace the paper cites among its motivating datasets: a
+// months-long HTTP log whose traffic shows strong diurnal cycles plus
+// flash crowds around match days. Sub-datasets are the requested content
+// categories (one per tournament team plus evergreen site sections), so a
+// team's page hits spike violently around its matches — another face of
+// content clustering.
+type WorldCupConfig struct {
+	// Requests is the total record count.
+	Requests int
+	// SpanDays is the covered window (the real trace spans ~88 days).
+	SpanDays int
+	// Teams is the number of team categories (32 in 1998).
+	Teams int
+	// Matches is the number of flash-crowd events to schedule.
+	Matches int
+	// PayloadWords is the mean log-line length in words.
+	PayloadWords int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c WorldCupConfig) withDefaults() WorldCupConfig {
+	if c.Requests <= 0 {
+		c.Requests = 100000
+	}
+	if c.SpanDays <= 0 {
+		c.SpanDays = 88
+	}
+	if c.Teams <= 0 {
+		c.Teams = 32
+	}
+	if c.Matches <= 0 {
+		c.Matches = 64
+	}
+	if c.PayloadWords <= 0 {
+		c.PayloadWords = 24
+	}
+	return c
+}
+
+// TeamID formats the sub-dataset key of team i.
+func TeamID(i int) string { return fmt.Sprintf("team-%02d", i) }
+
+// Evergreen site sections that absorb baseline traffic.
+var worldCupSections = []string{
+	"frontpage", "schedule", "results", "tickets", "history", "venues",
+}
+
+// WorldCup generates the access log chronologically. Each match day gives
+// two teams a flash crowd whose request rate decays over a few hours; the
+// rest of the traffic is diurnal background over teams and site sections.
+func WorldCup(cfg WorldCupConfig) []records.Record {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Match schedule: (time, teamA, teamB), spread over the span with a
+	// round-robin-ish team rotation so every team gets flash crowds.
+	type match struct {
+		at   int64
+		a, b int
+	}
+	matches := make([]match, cfg.Matches)
+	for i := range matches {
+		day := 1 + i*(cfg.SpanDays-2)/cfg.Matches
+		kickoff := int64(day)*secondsPerDay + int64(14+rng.Intn(7))*3600
+		a := (2 * i) % cfg.Teams
+		b := (2*i + 1) % cfg.Teams
+		matches[i] = match{at: kickoff, a: a, b: b}
+	}
+
+	zipfTeams := stats.NewZipf(cfg.Teams, 0.7)
+	vocab := eventVocabulary()
+	horizon := int64(cfg.SpanDays) * secondsPerDay
+	step := horizon / int64(cfg.Requests)
+	if step <= 0 {
+		step = 1
+	}
+
+	recs := make([]records.Record, 0, cfg.Requests)
+	var t int64
+	const flashWindow = 6 * 3600 // a match dominates traffic for ~6 hours
+	for len(recs) < cfg.Requests {
+		// Diurnal intensity gates how fast the clock advances: nights are
+		// quiet, so consecutive records are further apart.
+		hour := float64(t%secondsPerDay) / 3600
+		diurnal := 0.35 + 0.65*(0.5+0.5*math.Sin((hour-9)/24*2*math.Pi))
+
+		// Is a flash crowd active?
+		var sub string
+		inFlash := false
+		for _, m := range matches {
+			d := t - m.at
+			if d >= 0 && d < flashWindow {
+				// Flash traffic share decays linearly over the window.
+				share := 0.8 * (1 - float64(d)/flashWindow)
+				if rng.Float64() < share {
+					if rng.Intn(2) == 0 {
+						sub = TeamID(m.a)
+					} else {
+						sub = TeamID(m.b)
+					}
+					inFlash = true
+				}
+				break
+			}
+		}
+		if !inFlash {
+			if rng.Float64() < 0.45 {
+				sub = worldCupSections[rng.Intn(len(worldCupSections))]
+			} else {
+				sub = TeamID(zipfTeams.Draw(rng))
+			}
+		}
+		recs = append(recs, records.Record{
+			Sub:     sub,
+			Time:    t,
+			Rating:  float64(200 + 50*rng.Intn(4)), // HTTP-ish status codes
+			Payload: accessLine(rng, vocab, cfg.PayloadWords),
+		})
+		advance := float64(step) / diurnal
+		t += int64(advance/2) + rng.Int63n(int64(advance)+1)
+		if t >= horizon {
+			t = horizon - 1
+		}
+	}
+	return recs
+}
+
+func accessLine(rng *rand.Rand, vocab []string, meanWords int) string {
+	n := meanWords/2 + rng.Intn(meanWords+1)
+	var sb strings.Builder
+	sb.Grow(n*7 + 32)
+	fmt.Fprintf(&sb, "GET /page%04d ip%03d.%03d", rng.Intn(5000), rng.Intn(256), rng.Intn(256))
+	for i := 0; i < n; i++ {
+		sb.WriteByte(' ')
+		sb.WriteString(vocab[rng.Intn(len(vocab))])
+	}
+	return sb.String()
+}

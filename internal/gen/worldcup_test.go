@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"datanet/internal/records"
+)
+
+func TestWorldCupChronological(t *testing.T) {
+	recs := WorldCup(WorldCupConfig{Requests: 10000, Seed: 1})
+	if len(recs) != 10000 {
+		t.Fatalf("generated %d requests", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Fatalf("not chronological at %d", i)
+		}
+	}
+}
+
+func TestWorldCupDeterministic(t *testing.T) {
+	a := WorldCup(WorldCupConfig{Requests: 2000, Seed: 4})
+	b := WorldCup(WorldCupConfig{Requests: 2000, Seed: 4})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different logs")
+	}
+}
+
+func TestWorldCupSubDatasets(t *testing.T) {
+	recs := WorldCup(WorldCupConfig{Requests: 30000, Seed: 2})
+	by := records.BySub(recs)
+	// Every team and every section must receive traffic.
+	for i := 0; i < 32; i++ {
+		if by[TeamID(i)] == 0 {
+			t.Errorf("team %d got no traffic", i)
+		}
+	}
+	for _, s := range worldCupSections {
+		if by[s] == 0 {
+			t.Errorf("section %s got no traffic", s)
+		}
+	}
+	for sub := range by {
+		if !strings.HasPrefix(sub, "team-") {
+			found := false
+			for _, s := range worldCupSections {
+				if sub == s {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("unknown sub-dataset %q", sub)
+			}
+		}
+	}
+}
+
+// Flash crowds: a team's traffic concentrates around its match kickoffs,
+// i.e. the busiest 10% of its hour-buckets hold a disproportionate share.
+func TestWorldCupFlashCrowds(t *testing.T) {
+	recs := WorldCup(WorldCupConfig{Requests: 60000, Seed: 3})
+	byHour := make(map[int64]int64) // hour bucket -> team-00 bytes
+	var total int64
+	for _, r := range recs {
+		if r.Sub != TeamID(0) {
+			continue
+		}
+		byHour[r.Time/3600] += r.Size()
+		total += r.Size()
+	}
+	if total == 0 {
+		t.Fatal("team-00 absent")
+	}
+	sizes := make([]int64, 0, len(byHour))
+	for _, v := range byHour {
+		sizes = append(sizes, v)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] > sizes[j] })
+	k := len(sizes) / 10
+	if k == 0 {
+		k = 1
+	}
+	var topSum int64
+	for i := 0; i < k; i++ {
+		topSum += sizes[i]
+	}
+	if share := float64(topSum) / float64(total); share < 0.3 {
+		t.Errorf("top-10%% hours hold only %.0f%% of team traffic — no flash crowds", share*100)
+	}
+}
+
+func TestWorldCupDefaults(t *testing.T) {
+	cfg := WorldCupConfig{}.withDefaults()
+	if cfg.Teams != 32 || cfg.SpanDays != 88 || cfg.Matches != 64 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

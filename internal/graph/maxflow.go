@@ -1,0 +1,83 @@
+package graph
+
+// Edmonds–Karp max-flow (the BFS refinement of Ford–Fulkerson the paper
+// cites for optimal task assignment in homogeneous clusters).
+
+type edge struct {
+	to, rev int
+	cap     int64
+}
+
+// FlowNetwork is a capacitated directed graph with residual edges.
+type FlowNetwork struct {
+	adj [][]edge
+}
+
+// NewFlowNetwork creates a network with n vertices.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{adj: make([][]edge, n)}
+}
+
+// AddEdge adds a directed edge u→v with the given capacity and returns an
+// index usable with Flow to read the shipped amount.
+func (f *FlowNetwork) AddEdge(u, v int, cap int64) (int, int) {
+	f.adj[u] = append(f.adj[u], edge{to: v, rev: len(f.adj[v]), cap: cap})
+	f.adj[v] = append(f.adj[v], edge{to: u, rev: len(f.adj[u]) - 1, cap: 0})
+	return u, len(f.adj[u]) - 1
+}
+
+// Flow returns how much flow the edge identified by (u, idx) carries,
+// derived from the residual of its reverse edge.
+func (f *FlowNetwork) Flow(u, idx int) int64 {
+	e := f.adj[u][idx]
+	return f.adj[e.to][e.rev].cap
+}
+
+// MaxFlow runs Edmonds–Karp from s to t and returns the value. The
+// network's residual capacities are mutated; run once per instance.
+func (f *FlowNetwork) MaxFlow(s, t int) int64 {
+	n := len(f.adj)
+	var total int64
+	parentV := make([]int, n)
+	parentE := make([]int, n)
+	queue := make([]int, 0, n)
+	for {
+		for i := range parentV {
+			parentV[i] = -1
+		}
+		parentV[s] = s
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 && parentV[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for ei := range f.adj[u] {
+				e := &f.adj[u][ei]
+				if e.cap > 0 && parentV[e.to] == -1 {
+					parentV[e.to] = u
+					parentE[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parentV[t] == -1 {
+			return total
+		}
+		// Find bottleneck.
+		aug := int64(1) << 62
+		for v := t; v != s; v = parentV[v] {
+			e := f.adj[parentV[v]][parentE[v]]
+			if e.cap < aug {
+				aug = e.cap
+			}
+		}
+		// Apply.
+		for v := t; v != s; v = parentV[v] {
+			u := parentV[v]
+			e := &f.adj[u][parentE[v]]
+			e.cap -= aug
+			f.adj[e.to][e.rev].cap += aug
+		}
+		total += aug
+	}
+}

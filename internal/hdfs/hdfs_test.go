@@ -1,0 +1,261 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"datanet/internal/cluster"
+	"datanet/internal/records"
+)
+
+func mkRecords(n, payload int) []records.Record {
+	recs := make([]records.Record, n)
+	for i := range recs {
+		recs[i] = records.Record{
+			Sub:     fmt.Sprintf("sub-%d", i%7),
+			Time:    int64(i),
+			Payload: string(make([]byte, payload)),
+		}
+	}
+	return recs
+}
+
+func newFS(t *testing.T, nodes int, cfg Config) *FileSystem {
+	t.Helper()
+	topo := cluster.MustHomogeneous(nodes, 2)
+	fs, err := NewFileSystem(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWriteSplitsIntoBlocks(t *testing.T) {
+	fs := newFS(t, 8, Config{BlockSize: 1024, Seed: 1})
+	recs := mkRecords(100, 60) // each ~80 bytes -> ~12 per block
+	info, err := fs.Write("f", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 100 {
+		t.Errorf("Records = %d", info.Records)
+	}
+	if info.Bytes != records.TotalSize(recs) {
+		t.Errorf("Bytes = %d, want %d", info.Bytes, records.TotalSize(recs))
+	}
+	blocks, err := fs.Blocks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(blocks))
+	}
+	// Block invariants: size cap, order preservation, replication.
+	var reassembled []records.Record
+	for i, b := range blocks {
+		if b.Bytes > 1024 {
+			t.Errorf("block %d overflows: %d bytes", i, b.Bytes)
+		}
+		if b.Index != i || b.File != "f" {
+			t.Errorf("block %d metadata wrong: %+v", i, b)
+		}
+		if len(b.Replicas) != DefaultReplication {
+			t.Errorf("block %d has %d replicas", i, len(b.Replicas))
+		}
+		seen := map[cluster.NodeID]bool{}
+		for _, r := range b.Replicas {
+			if seen[r] {
+				t.Errorf("block %d has duplicate replica %d", i, r)
+			}
+			seen[r] = true
+		}
+		reassembled = append(reassembled, b.Records...)
+	}
+	if !reflect.DeepEqual(reassembled, recs) {
+		t.Error("blocks do not reassemble to the original records in order")
+	}
+}
+
+func TestWriteSingleOversizedRecord(t *testing.T) {
+	fs := newFS(t, 4, Config{BlockSize: 64, Seed: 1})
+	big := records.Record{Sub: "x", Payload: string(make([]byte, 500))}
+	if _, err := fs.Write("big", []records.Record{big}); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := fs.Blocks("big")
+	if len(blocks) != 1 || len(blocks[0].Records) != 1 {
+		t.Fatalf("oversized record should make exactly one block: %d", len(blocks))
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	fs := newFS(t, 4, Config{Seed: 1})
+	if _, err := fs.Write("dup", mkRecords(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("dup", mkRecords(1, 10)); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate write err = %v", err)
+	}
+	if _, err := fs.Stat("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Stat missing err = %v", err)
+	}
+	if _, err := fs.Blocks("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Blocks missing err = %v", err)
+	}
+}
+
+func TestNewFileSystemErrors(t *testing.T) {
+	if _, err := NewFileSystem(nil, Config{}); !errors.Is(err, ErrNoTopology) {
+		t.Errorf("nil topo err = %v", err)
+	}
+	topo := cluster.MustHomogeneous(2, 1)
+	if _, err := NewFileSystem(topo, Config{Replication: 3}); !errors.Is(err, ErrReplication) {
+		t.Errorf("over-replication err = %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	fs := newFS(t, 4, Config{})
+	cfg := fs.Config()
+	if cfg.BlockSize != DefaultBlockSize || cfg.Replication != DefaultReplication || cfg.Placement == nil {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestLocationsAndLocality(t *testing.T) {
+	fs := newFS(t, 8, Config{BlockSize: 512, Seed: 3})
+	fs.Write("f", mkRecords(50, 50))
+	blocks, _ := fs.Blocks("f")
+	for _, b := range blocks {
+		locs := fs.Locations(b.ID)
+		if len(locs) != DefaultReplication {
+			t.Fatalf("locations = %v", locs)
+		}
+		for _, n := range locs {
+			if !fs.IsLocal(n, b.ID) {
+				t.Errorf("IsLocal(%d, %d) = false for replica", n, b.ID)
+			}
+		}
+		// A node not in the replica list must not be local.
+		for n := 0; n < 8; n++ {
+			isReplica := false
+			for _, l := range locs {
+				if l == cluster.NodeID(n) {
+					isReplica = true
+				}
+			}
+			if fs.IsLocal(cluster.NodeID(n), b.ID) != isReplica {
+				t.Errorf("IsLocal(%d) inconsistent", n)
+			}
+		}
+	}
+}
+
+func TestNodeBlocksMatchesLocations(t *testing.T) {
+	fs := newFS(t, 6, Config{BlockSize: 512, Seed: 4})
+	fs.Write("f", mkRecords(60, 40))
+	count := 0
+	for n := 0; n < 6; n++ {
+		for _, id := range fs.NodeBlocks(cluster.NodeID(n)) {
+			if !fs.IsLocal(cluster.NodeID(n), id) {
+				t.Errorf("NodeBlocks lists non-local block %d for node %d", id, n)
+			}
+			count++
+		}
+	}
+	if want := fs.NumBlocks() * DefaultReplication; count != want {
+		t.Errorf("total replica count %d, want %d", count, want)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	fs := newFS(t, 5, Config{BlockSize: 512, Seed: 5})
+	info, _ := fs.Write("f", mkRecords(40, 40))
+	var total int64
+	for _, u := range fs.Usage() {
+		total += u
+	}
+	if want := info.Bytes * int64(DefaultReplication); total != want {
+		t.Errorf("usage total %d, want %d", total, want)
+	}
+}
+
+func TestSubDistribution(t *testing.T) {
+	fs := newFS(t, 4, Config{BlockSize: 256, Seed: 6})
+	recs := mkRecords(30, 30)
+	fs.Write("f", recs)
+	dist, err := fs.SubDistribution("f", "sub-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for _, d := range dist {
+		got += d
+	}
+	if want := records.BySub(recs)["sub-3"]; got != want {
+		t.Errorf("SubDistribution total = %d, want %d", got, want)
+	}
+	if _, err := fs.SubDistribution("missing", "x"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestFilesSorted(t *testing.T) {
+	fs := newFS(t, 4, Config{Seed: 7})
+	fs.Write("zeta", mkRecords(1, 5))
+	fs.Write("alpha", mkRecords(1, 5))
+	got := fs.Files()
+	if !reflect.DeepEqual(got, []string{"alpha", "zeta"}) {
+		t.Errorf("Files = %v", got)
+	}
+}
+
+func TestBlockPanicsOutOfRange(t *testing.T) {
+	fs := newFS(t, 4, Config{Seed: 8})
+	defer func() {
+		if recover() == nil {
+			t.Error("Block(99) should panic")
+		}
+	}()
+	fs.Block(99)
+}
+
+// Property: writing any record stream preserves every record exactly once,
+// regardless of block size.
+func TestWritePreservesRecordsQuick(t *testing.T) {
+	topo := cluster.MustHomogeneous(4, 2)
+	f := func(payloadLens []uint8, blockSizeRaw uint16) bool {
+		blockSize := int64(blockSizeRaw)%2048 + 64
+		fs, err := NewFileSystem(topo, Config{BlockSize: blockSize, Seed: 1})
+		if err != nil {
+			return false
+		}
+		recs := make([]records.Record, len(payloadLens))
+		for i, l := range payloadLens {
+			recs[i] = records.Record{Sub: fmt.Sprintf("s%d", i%3), Time: int64(i), Payload: string(make([]byte, int(l)))}
+		}
+		if _, err := fs.Write("f", recs); err != nil {
+			return false
+		}
+		blocks, err := fs.Blocks("f")
+		if err != nil {
+			return false
+		}
+		var out []records.Record
+		for _, b := range blocks {
+			out = append(out, b.Records...)
+		}
+		if len(recs) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(out, recs)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"datanet/internal/cluster"
+)
+
+// This file models the name-node maintenance operations a long-lived
+// deployment needs: node decommissioning with re-replication (HDFS keeps
+// the replication factor invariant when a data-node dies) and a usage
+// balancer. They exist so failure-injection tests and heterogeneity
+// experiments run on realistic layouts, and because replica placement is
+// the input DataNet's bipartite graph is built from.
+
+// ErrNodeUnknown reports an out-of-range node id.
+var ErrNodeUnknown = errors.New("hdfs: unknown node")
+
+// ErrNotEnoughNodes reports that re-replication cannot maintain the factor.
+var ErrNotEnoughNodes = errors.New("hdfs: not enough live nodes to re-replicate")
+
+// DecommissionNode removes every replica from the node and re-replicates
+// the affected blocks onto other nodes (fewest-bytes-first, mimicking the
+// name-node's preference for under-utilized targets). The node stays in
+// the topology — it simply holds no data — matching a dead or draining
+// data-node. It returns the number of block replicas moved.
+func (fs *FileSystem) DecommissionNode(id cluster.NodeID) (int, error) {
+	if int(id) < 0 || int(id) >= fs.topo.N() {
+		return 0, fmt.Errorf("%w: %d", ErrNodeUnknown, id)
+	}
+	usage := fs.Usage()
+	moved := 0
+	for _, b := range fs.blocks {
+		idx := -1
+		for i, n := range b.Replicas {
+			if n == id {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			continue
+		}
+		target, ok := fs.pickTarget(b, usage, id)
+		if !ok {
+			return moved, ErrNotEnoughNodes
+		}
+		b.Replicas[idx] = target
+		usage[target] += b.Bytes
+		usage[id] -= b.Bytes
+		moved++
+	}
+	return moved, nil
+}
+
+// pickTarget returns the least-utilized live node that holds no replica of
+// b and is not the excluded node.
+func (fs *FileSystem) pickTarget(b *Block, usage map[cluster.NodeID]int64, exclude cluster.NodeID) (cluster.NodeID, bool) {
+	has := make(map[cluster.NodeID]bool, len(b.Replicas))
+	for _, n := range b.Replicas {
+		has[n] = true
+	}
+	best := cluster.NodeID(-1)
+	for _, id := range fs.topo.IDs() {
+		if id == exclude || has[id] {
+			continue
+		}
+		if best == -1 || usage[id] < usage[best] || (usage[id] == usage[best] && id < best) {
+			best = id
+		}
+	}
+	return best, best != -1
+}
+
+// BalanceReport summarizes replica distribution over nodes.
+type BalanceReport struct {
+	MaxBytes, MinBytes, MeanBytes int64
+	// CV is the coefficient of variation of per-node stored bytes.
+	CV float64
+}
+
+// Balance reports how evenly replicas are spread.
+func (fs *FileSystem) Balance() BalanceReport {
+	usage := fs.Usage()
+	n := fs.topo.N()
+	var total, max int64
+	min := int64(1) << 62
+	for _, id := range fs.topo.IDs() {
+		u := usage[id]
+		total += u
+		if u > max {
+			max = u
+		}
+		if u < min {
+			min = u
+		}
+	}
+	if n == 0 {
+		return BalanceReport{}
+	}
+	mean := total / int64(n)
+	var ss float64
+	for _, id := range fs.topo.IDs() {
+		d := float64(usage[id] - mean)
+		ss += d * d
+	}
+	cv := 0.0
+	if mean > 0 {
+		cv = math.Sqrt(ss/float64(n)) / float64(mean)
+	}
+	if min == int64(1)<<62 {
+		min = 0
+	}
+	return BalanceReport{MaxBytes: max, MinBytes: min, MeanBytes: mean, CV: cv}
+}
+
+// Rebalance moves replicas from over-utilized to under-utilized nodes until
+// every node is within `slack` (fraction, e.g. 0.1) of the mean — the
+// HDFS balancer's contract. Returns the number of replicas moved.
+func (fs *FileSystem) Rebalance(slack float64) int {
+	if slack <= 0 {
+		slack = 0.1
+	}
+	usage := fs.Usage()
+	var total int64
+	for _, id := range fs.topo.IDs() {
+		total += usage[id]
+	}
+	if fs.topo.N() == 0 {
+		return 0
+	}
+	mean := total / int64(fs.topo.N())
+	hi := mean + int64(float64(mean)*slack)
+	lo := mean - int64(float64(mean)*slack)
+
+	// Deterministic order: blocks by id; donors = nodes above hi.
+	moved := 0
+	for _, b := range fs.blocks {
+		for i, n := range b.Replicas {
+			if usage[n] <= hi {
+				continue
+			}
+			// Receiver: the least-utilized node below lo without a replica.
+			target, ok := fs.pickTarget(b, usage, n)
+			if !ok || usage[target] >= lo {
+				continue
+			}
+			b.Replicas[i] = target
+			usage[n] -= b.Bytes
+			usage[target] += b.Bytes
+			moved++
+		}
+	}
+	return moved
+}
+
+// ReplicationHealth verifies every block still has the configured number
+// of distinct replicas; it returns the ids of violating blocks (empty when
+// healthy). Tests use it as the re-replication invariant.
+func (fs *FileSystem) ReplicationHealth() []BlockID {
+	var bad []BlockID
+	for _, b := range fs.blocks {
+		if len(b.Replicas) != fs.cfg.Replication {
+			bad = append(bad, b.ID)
+			continue
+		}
+		seen := make(map[cluster.NodeID]bool, len(b.Replicas))
+		dup := false
+		for _, n := range b.Replicas {
+			if seen[n] {
+				dup = true
+				break
+			}
+			seen[n] = true
+		}
+		if dup {
+			bad = append(bad, b.ID)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+	return bad
+}

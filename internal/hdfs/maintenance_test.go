@@ -1,0 +1,104 @@
+package hdfs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"datanet/internal/cluster"
+)
+
+func TestDecommissionNode(t *testing.T) {
+	fs := newFS(t, 8, Config{BlockSize: 512, Seed: 9})
+	fs.Write("f", mkRecords(80, 40))
+	victim := cluster.NodeID(3)
+	before := len(fs.NodeBlocks(victim))
+	if before == 0 {
+		t.Fatal("fixture: victim holds no blocks")
+	}
+	moved, err := fs.DecommissionNode(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != before {
+		t.Errorf("moved %d, want %d", moved, before)
+	}
+	if got := len(fs.NodeBlocks(victim)); got != 0 {
+		t.Errorf("victim still holds %d blocks", got)
+	}
+	// Replication invariant preserved.
+	if bad := fs.ReplicationHealth(); len(bad) != 0 {
+		t.Errorf("replication violated for blocks %v", bad)
+	}
+}
+
+func TestDecommissionUnknownNode(t *testing.T) {
+	fs := newFS(t, 4, Config{Seed: 1})
+	if _, err := fs.DecommissionNode(99); !errors.Is(err, ErrNodeUnknown) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDecommissionImpossible(t *testing.T) {
+	// 3 nodes, replication 3: losing one node cannot keep the factor.
+	topo := cluster.MustHomogeneous(3, 1)
+	fs, err := NewFileSystem(topo, Config{BlockSize: 512, Replication: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Write("f", mkRecords(10, 40))
+	if _, err := fs.DecommissionNode(0); !errors.Is(err, ErrNotEnoughNodes) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBalanceReport(t *testing.T) {
+	fs := newFS(t, 6, Config{BlockSize: 512, Seed: 3})
+	fs.Write("f", mkRecords(60, 40))
+	rep := fs.Balance()
+	if rep.MeanBytes <= 0 || rep.MaxBytes < rep.MeanBytes || rep.MinBytes > rep.MeanBytes {
+		t.Errorf("implausible report %+v", rep)
+	}
+}
+
+func TestRebalanceImproves(t *testing.T) {
+	// Round-robin placement starting heavily skewed: write with a policy
+	// that floods node 0.
+	topo := cluster.MustHomogeneous(8, 2)
+	fs, err := NewFileSystem(topo, Config{BlockSize: 512, Replication: 2, Placement: &floodPlacement{}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Write("f", mkRecords(120, 40))
+	before := fs.Balance()
+	moved := fs.Rebalance(0.1)
+	after := fs.Balance()
+	if moved == 0 {
+		t.Fatal("nothing moved despite skew")
+	}
+	if after.CV >= before.CV {
+		t.Errorf("CV did not improve: %.3f → %.3f", before.CV, after.CV)
+	}
+	if bad := fs.ReplicationHealth(); len(bad) != 0 {
+		t.Errorf("rebalance broke replication: %v", bad)
+	}
+}
+
+// floodPlacement concentrates replicas on nodes 0 and 1, creating the skew
+// the balancer must fix.
+type floodPlacement struct{ i int }
+
+func (f *floodPlacement) Name() string { return "flood" }
+
+func (f *floodPlacement) Place(_ *rand.Rand, topo *cluster.Topology, replication int) []cluster.NodeID {
+	out := make([]cluster.NodeID, replication)
+	out[0] = cluster.NodeID(f.i % 2) // always node 0 or 1
+	for k := 1; k < replication; k++ {
+		out[k] = cluster.NodeID((2 + f.i + k) % topo.N())
+		if out[k] == out[0] {
+			out[k] = cluster.NodeID((int(out[k]) + 1) % topo.N())
+		}
+	}
+	f.i++
+	return out
+}

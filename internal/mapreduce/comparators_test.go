@@ -1,0 +1,106 @@
+package mapreduce
+
+import (
+	"testing"
+)
+
+func TestRebalanceAfterFilterLevelsWorkloads(t *testing.T) {
+	fs, _ := testEnv(t)
+	cfg := baseConfig(fs)
+	cfg.RebalanceAfterFilter = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigratedBytes <= 0 {
+		t.Fatal("no bytes migrated despite a skewed baseline")
+	}
+	if res.MigrationTime <= 0 {
+		t.Error("migration must take time")
+	}
+	// Post-migration workloads level to within one byte.
+	var max, min int64
+	min = 1 << 62
+	for _, w := range res.NodeWorkload {
+		if w > max {
+			max = w
+		}
+		if w < min {
+			min = w
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("workload spread after migration: %d – %d", min, max)
+	}
+	// The conservation invariant survives migration.
+	base, err := Run(baseConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b int64
+	for _, w := range res.NodeWorkload {
+		a += w
+	}
+	for _, w := range base.NodeWorkload {
+		b += w
+	}
+	if a != b {
+		t.Errorf("migration changed total workload: %d vs %d", a, b)
+	}
+}
+
+func TestSpeculativeExecutionHelpsStragglers(t *testing.T) {
+	fs, _ := testEnv(t)
+	cfg := baseConfig(fs)
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Speculative = true
+	spec, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.SpeculativeWins == 0 {
+		t.Skip("no straggler exceeded the speculation threshold in this fixture")
+	}
+	if spec.MapEnd >= base.MapEnd {
+		t.Errorf("speculation did not shorten the map phase: %.3f vs %.3f", spec.MapEnd, base.MapEnd)
+	}
+	// Backups never worsen any node's completion.
+	for id, d := range spec.NodeCompute {
+		if d > base.NodeCompute[id]+1e-9 {
+			t.Errorf("node %d got slower with speculation: %.3f vs %.3f", id, d, base.NodeCompute[id])
+		}
+	}
+}
+
+func TestSpeculativeOnBalancedLoadIsNoOp(t *testing.T) {
+	fs, _ := testEnv(t)
+	cfg := baseConfig(fs)
+	cfg.RebalanceAfterFilter = true // perfectly level → no stragglers
+	cfg.Speculative = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeculativeWins != 0 {
+		t.Errorf("speculation fired on a leveled workload: %d wins", res.SpeculativeWins)
+	}
+}
+
+func TestMigrationMovesAreWithinCluster(t *testing.T) {
+	fs, _ := testEnv(t)
+	cfg := baseConfig(fs)
+	cfg.RebalanceAfterFilter = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fs.Topology().N()
+	for id := range res.NodeWorkload {
+		if int(id) < 0 || int(id) >= n {
+			t.Errorf("workload on unknown node %d", id)
+		}
+	}
+}

@@ -1,0 +1,602 @@
+// Package mapreduce is the parallel-execution substrate: a discrete-event
+// simulator of a Hadoop-style MapReduce pipeline over the HDFS model,
+// driven by the same pull protocol real task trackers use ("if a worker
+// process on cn_i requests a task…", Algorithm 1).
+//
+// The simulated pipeline mirrors the paper's evaluation workflow (§V-A):
+// "we first launch map tasks to filter out our target sub-dataset and
+// store them locally on the cluster nodes. Then, we run various analysis
+// jobs with different computation patterns to process the filtered
+// sub-dataset."
+//
+//  1. Filter phase — one map task per block; the scheduler under test
+//     decides which node scans which block. The matched sub-dataset bytes
+//     are stored on the executing node. This is where block scheduling
+//     determines the workload distribution.
+//  2. Analysis phase — each node processes the sub-dataset bytes that
+//     landed on it (the data is local and does not move), at the
+//     application's per-byte compute cost. Imbalance from phase 1 turns
+//     directly into straggling here (paper Fig. 6).
+//  3. Shuffle — the window opens at the first analysis-map completion and
+//     cannot close before the last (paper §V-A.3), plus transfer time for
+//     the map output volume (paper Fig. 7).
+//  4. Reduce — per-reducer compute on its shuffle share.
+//
+// Durations follow a calibrated cost model; applications really execute
+// over the records when Config.ExecuteApp is set, so outputs are exact.
+package mapreduce
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+
+	"datanet/internal/apps"
+	"datanet/internal/cluster"
+	"datanet/internal/hdfs"
+	"datanet/internal/records"
+	"datanet/internal/sched"
+)
+
+// Config describes one job.
+type Config struct {
+	// FS is the filesystem holding the input file.
+	FS *hdfs.FileSystem
+	// File is the input file name.
+	File string
+	// TargetSub selects the sub-dataset to analyze; empty processes all
+	// records (no filtering).
+	TargetSub string
+	// App is the analysis application.
+	App apps.App
+	// Picker builds the task scheduler for the filter phase (locality
+	// baseline, DataNet Algorithm 1, …).
+	Picker sched.Factory
+	// Weights, when non-nil, provides the per-block |b ∩ s| estimates the
+	// scheduler sees (from ElasticMap). Nil means the scheduler sees the
+	// ground truth (oracle) — the locality baseline ignores weights anyway.
+	Weights []int64
+	// SkipEmpty, when true, drops blocks whose weight estimate is zero
+	// before scheduling — ElasticMap's I/O-saving optimization ("we don't
+	// need to process blocks that don't contain our target data", §V-B).
+	SkipEmpty bool
+	// Reducers is the reduce-task count (default: one per node).
+	Reducers int
+	// ExecuteApp, when true, actually runs Map/Reduce over the matched
+	// records and returns the job output.
+	ExecuteApp bool
+	// RebalanceAfterFilter models the *reactive* alternative the paper
+	// compares against in §V-A.4 (SkewTune-style): after the filter phase,
+	// filtered bytes migrate between nodes to level the workload before
+	// analysis, paying network transfer time. DataNet makes this migration
+	// unnecessary by scheduling the imbalance away up front.
+	RebalanceAfterFilter bool
+	// Speculative enables Hadoop-style speculative execution during the
+	// analysis phase: when a node's analysis runs much longer than the
+	// median, a backup attempt starts on the earliest-finishing node
+	// (reading the data remotely); the earlier completion wins. This is
+	// the paper's other reactive comparator family (runtime monitoring).
+	Speculative bool
+	// FilterCostFactor scales CPU time per matched byte during the filter
+	// phase (default 0.2: predicate evaluation plus local write).
+	FilterCostFactor float64
+	// ReduceCostFactor scales reduce CPU time per shuffled byte
+	// (default 1).
+	ReduceCostFactor float64
+	// TaskOverhead is the fixed per-task startup cost in seconds
+	// (JVM/task-setup analogue; default 0.1 s).
+	TaskOverhead float64
+	// CrossRackPenalty divides the NIC rate for remote reads whose source
+	// replicas all sit in other racks (two-tier fabric oversubscription;
+	// default 2).
+	CrossRackPenalty float64
+	// OutputAwareReducers places reduce tasks on the nodes holding the most
+	// map output instead of round-robin, so their own partition share never
+	// crosses the network — the aggregation-transfer optimization the paper
+	// defers to future work ("ElasticMap can also be used to minimize the
+	// data transferred", §IV-B).
+	OutputAwareReducers bool
+}
+
+// sameRackAsAnyReplica reports whether node shares a rack with any replica
+// holder of t.
+func sameRackAsAnyReplica(topo *cluster.Topology, t sched.Task, node cluster.NodeID) bool {
+	for _, r := range t.Locations {
+		if int(r) >= 0 && int(r) < topo.N() && topo.SameRack(r, node) {
+			return true
+		}
+	}
+	return false
+}
+
+// TaskStat records one executed filter-phase task.
+type TaskStat struct {
+	Task    sched.Task
+	Node    cluster.NodeID
+	Start   float64
+	End     float64
+	Scan    float64 // seconds reading the block (plus network if remote)
+	Compute float64 // seconds in the filter function
+	Matched int64   // ground-truth sub-dataset bytes in the block
+	Local   bool
+}
+
+// Result is the outcome of a run. All times are simulated seconds from
+// job start.
+type Result struct {
+	// FilterEnd is the filter phase's makespan (a barrier: the analysis
+	// job starts after it).
+	FilterEnd float64
+	// MapEnd bounds the analysis map phase; FirstMapEnd is the earliest
+	// per-node analysis completion (the shuffle window opens there).
+	MapEnd, FirstMapEnd float64
+	// ShuffleEnd, ReduceEnd and JobTime bound the later phases.
+	ShuffleEnd, ReduceEnd, JobTime float64
+	// AnalysisTime is the analysis job's own execution time, excluding the
+	// shared filter pass (JobTime − FilterEnd) — what the paper's Fig. 5(a)
+	// reports for the four analysis jobs.
+	AnalysisTime float64
+	// NodeBusy is each node's total busy time across both map phases.
+	NodeBusy map[cluster.NodeID]float64
+	// NodeCompute is each node's analysis-phase map time — the paper's
+	// "map execution time on the filtered sub-dataset" (Fig. 6).
+	NodeCompute map[cluster.NodeID]float64
+	// NodeWorkload is the filtered sub-dataset bytes stored per node after
+	// the filter phase (Fig. 1(b), 5(c), 8(b)).
+	NodeWorkload map[cluster.NodeID]int64
+	// ShuffleDurations is the per-reducer shuffle window (Fig. 7).
+	ShuffleDurations []float64
+	// ShuffleBytes is the map output volume that crossed the network.
+	ShuffleBytes int64
+	// Tasks lists filter-phase task stats in completion order.
+	Tasks []TaskStat
+	// LocalTasks/RemoteTasks count filter-phase data-locality outcomes.
+	LocalTasks, RemoteTasks int
+	// SkippedBlocks counts blocks never scheduled thanks to ElasticMap.
+	SkippedBlocks int
+	// MigratedBytes and MigrationTime report the reactive-rebalance cost
+	// when Config.RebalanceAfterFilter is set.
+	MigratedBytes int64
+	MigrationTime float64
+	// SpeculativeWins counts straggler analyses beaten by a backup attempt
+	// when Config.Speculative is set.
+	SpeculativeWins int
+	// Output is the reduced job output when Config.ExecuteApp is set.
+	Output map[string]string
+	// SchedulerName echoes the picker used.
+	SchedulerName string
+}
+
+// Errors.
+var (
+	ErrNoApp    = errors.New("mapreduce: config needs an App")
+	ErrNoPicker = errors.New("mapreduce: config needs a Picker factory")
+)
+
+// slotEvent is one free execution slot becoming available.
+type slotEvent struct {
+	at   float64
+	node cluster.NodeID
+	slot int
+}
+
+type slotHeap []slotEvent
+
+func (h slotHeap) Len() int { return len(h) }
+func (h slotHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].node != h[j].node {
+		return h[i].node < h[j].node
+	}
+	return h[i].slot < h[j].slot
+}
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slotEvent)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the job.
+func Run(cfg Config) (*Result, error) {
+	if cfg.App == nil {
+		return nil, ErrNoApp
+	}
+	if cfg.Picker == nil {
+		return nil, ErrNoPicker
+	}
+	blocks, err := cfg.FS.Blocks(cfg.File)
+	if err != nil {
+		return nil, err
+	}
+	topo := cfg.FS.Topology()
+	if cfg.Reducers <= 0 {
+		cfg.Reducers = topo.N()
+	}
+	if cfg.FilterCostFactor <= 0 {
+		cfg.FilterCostFactor = 0.2
+	}
+	if cfg.ReduceCostFactor <= 0 {
+		cfg.ReduceCostFactor = 1
+	}
+	if cfg.TaskOverhead <= 0 {
+		cfg.TaskOverhead = 0.1
+	}
+	if cfg.CrossRackPenalty < 1 {
+		cfg.CrossRackPenalty = 2
+	}
+
+	// Ground-truth matched bytes per block.
+	truth := make([]int64, len(blocks))
+	for i, b := range blocks {
+		if cfg.TargetSub == "" {
+			truth[i] = b.Bytes
+		} else {
+			for _, r := range b.Records {
+				if r.Sub == cfg.TargetSub {
+					truth[i] += r.Size()
+				}
+			}
+		}
+	}
+
+	// Scheduling weights: ElasticMap estimates when provided, else truth.
+	weights := cfg.Weights
+	if weights == nil {
+		weights = truth
+	}
+
+	res := &Result{
+		NodeBusy:     make(map[cluster.NodeID]float64),
+		NodeCompute:  make(map[cluster.NodeID]float64),
+		NodeWorkload: make(map[cluster.NodeID]int64),
+	}
+
+	// Build the filter-phase task list.
+	var tasks []sched.Task
+	for i, b := range blocks {
+		if cfg.SkipEmpty && i < len(weights) && weights[i] == 0 {
+			res.SkippedBlocks++
+			continue
+		}
+		w := int64(0)
+		if i < len(weights) {
+			w = weights[i]
+		}
+		tasks = append(tasks, sched.Task{
+			Block:     b.ID,
+			Index:     i,
+			Weight:    w,
+			Bytes:     b.Bytes,
+			Locations: cfg.FS.Locations(b.ID),
+		})
+	}
+
+	picker := cfg.Picker(tasks, topo)
+	res.SchedulerName = picker.Name()
+
+	// Phase 1: filter. Event-driven slot simulation under the pull model.
+	nodeTasks := make(map[cluster.NodeID]int, topo.N())
+	var h slotHeap
+	for _, id := range topo.IDs() {
+		for s := 0; s < topo.Node(id).Slots; s++ {
+			heap.Push(&h, slotEvent{at: 0, node: id, slot: s})
+		}
+	}
+	collector := newCollector(cfg)
+	// A declined request (ok=false while tasks remain) models Hadoop's
+	// heartbeat protocol: the slot asks again after a heartbeat interval
+	// (delay scheduling relies on this). A bounded retry count guards
+	// against a picker that never serves.
+	heartbeat := cfg.TaskOverhead
+	idleRetries := 0
+	const maxIdleRetries = 1 << 20
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(slotEvent)
+		t, ok := picker.Next(ev.node)
+		if !ok {
+			if picker.Remaining() > 0 && idleRetries < maxIdleRetries {
+				idleRetries++
+				heap.Push(&h, slotEvent{at: ev.at + heartbeat, node: ev.node, slot: ev.slot})
+			}
+			continue // otherwise the slot retires
+		}
+		idleRetries = 0
+		node := topo.Node(ev.node)
+		local := isLocalTask(t, ev.node)
+		matched := truth[t.Index]
+		scan := float64(t.Bytes) / node.DiskRate
+		if !local {
+			// Remote read: full NIC rate within the rack; cross-rack links
+			// are oversubscribed by CrossRackPenalty (classic two-tier
+			// datacenter fabric). The read is rack-local when any replica
+			// shares the requester's rack.
+			rate := node.NetRate
+			if !sameRackAsAnyReplica(topo, t, ev.node) {
+				rate /= cfg.CrossRackPenalty
+			}
+			scan += float64(t.Bytes) / rate
+		}
+		compute := float64(matched) * cfg.FilterCostFactor / node.CPURate
+		dur := cfg.TaskOverhead + scan + compute
+		end := ev.at + dur
+
+		res.Tasks = append(res.Tasks, TaskStat{
+			Task: t, Node: ev.node, Start: ev.at, End: end,
+			Scan: scan, Compute: compute, Matched: matched, Local: local,
+		})
+		res.NodeBusy[ev.node] += dur
+		res.NodeWorkload[ev.node] += matched
+		nodeTasks[ev.node]++
+		if local {
+			res.LocalTasks++
+		} else {
+			res.RemoteTasks++
+		}
+		if end > res.FilterEnd {
+			res.FilterEnd = end
+		}
+		if cfg.ExecuteApp {
+			collector.runMap(blocks[t.Index], cfg)
+		}
+		heap.Push(&h, slotEvent{at: end, node: ev.node, slot: ev.slot})
+	}
+
+	// Optional reactive rebalance (§V-A.4 comparator): level the filtered
+	// workloads by migrating bytes, paying the network time of the busiest
+	// endpoint, before analysis starts.
+	analysisStart := res.FilterEnd
+	if cfg.RebalanceAfterFilter {
+		plan := sched.PlanRebalance(res.NodeWorkload)
+		res.MigratedBytes = plan.BytesMoved
+		endpointBytes := make(map[cluster.NodeID]int64)
+		for _, mv := range plan.Moves {
+			endpointBytes[mv.From] += mv.Bytes
+			endpointBytes[mv.To] += mv.Bytes
+			res.NodeWorkload[mv.From] -= mv.Bytes
+			res.NodeWorkload[mv.To] += mv.Bytes
+		}
+		for id, bytes := range endpointBytes {
+			t := float64(bytes) / topo.Node(id).NetRate
+			if t > res.MigrationTime {
+				res.MigrationTime = t
+			}
+		}
+		analysisStart += res.MigrationTime
+	}
+
+	// Phase 2: analysis over the locally stored filtered data. The data
+	// cannot move, so stragglers are exactly the overloaded nodes. Each
+	// node runs one analysis map per filtered fragment it stored (one per
+	// filter task it executed — per-task setup is therefore balanced
+	// across nodes), while compute scales with its filtered bytes. The
+	// fragments are page-cache-hot right after the filter pass, so the
+	// analysis map is compute-bound: light applications (MovingAverage)
+	// are dominated by the balanced setup term and gain little from
+	// balancing, heavy ones (TopKSearch) gain the most — the Fig. 5(a)/6
+	// gradient.
+	durations := make(map[cluster.NodeID]float64, topo.N())
+	for _, id := range topo.IDs() {
+		node := topo.Node(id)
+		w := res.NodeWorkload[id]
+		durations[id] = float64(nodeTasks[id])*cfg.TaskOverhead +
+			float64(w)*cfg.App.CostFactor()/node.CPURate
+	}
+	if cfg.Speculative {
+		res.SpeculativeWins = speculate(topo, res.NodeWorkload, durations, cfg)
+	}
+	res.FirstMapEnd = -1
+	for _, id := range topo.IDs() {
+		dur := durations[id]
+		res.NodeCompute[id] = dur
+		res.NodeBusy[id] += dur
+		end := analysisStart + dur
+		if end > res.MapEnd {
+			res.MapEnd = end
+		}
+		if res.FirstMapEnd < 0 || end < res.FirstMapEnd {
+			res.FirstMapEnd = end
+		}
+	}
+	if res.FirstMapEnd < 0 {
+		res.FirstMapEnd = analysisStart
+	}
+
+	// Phase 3: shuffle (§V-A.3: opens at the first analysis-map
+	// completion, cannot close before the last). Each reducer fetches its
+	// share of the total map output at its NIC rate, minus whatever was
+	// produced on its own node (local output never crosses the network).
+	// Placement is round-robin by default; with OutputAwareReducers the
+	// reduce tasks land on the highest-output nodes, maximizing that local
+	// share — the paper's future-work aggregation optimization.
+	var totalMatched int64
+	for _, w := range res.NodeWorkload {
+		totalMatched += w
+	}
+	totalOut := float64(totalMatched) * cfg.App.OutputRatio()
+	reducerNode := make([]cluster.NodeID, cfg.Reducers)
+	if cfg.OutputAwareReducers {
+		plan := sched.PlanAggregation(res.NodeWorkload, cfg.Reducers)
+		for r := range reducerNode {
+			reducerNode[r] = plan.Aggregators[r%len(plan.Aggregators)]
+		}
+	} else {
+		for r := range reducerNode {
+			reducerNode[r] = cluster.NodeID(r % topo.N())
+		}
+	}
+	res.ShuffleDurations = make([]float64, cfg.Reducers)
+	shuffleEnd := res.MapEnd
+	for r := 0; r < cfg.Reducers; r++ {
+		nid := reducerNode[r]
+		// This reducer's partition share of every node's output; the share
+		// from its own node stays local.
+		remoteOut := (totalOut - float64(res.NodeWorkload[nid])*cfg.App.OutputRatio()) / float64(cfg.Reducers)
+		if remoteOut < 0 {
+			remoteOut = 0
+		}
+		xfer := remoteOut / topo.Node(nid).NetRate
+		res.ShuffleBytes += int64(remoteOut)
+		end := res.FirstMapEnd + xfer
+		if end < res.MapEnd {
+			end = res.MapEnd
+		}
+		res.ShuffleDurations[r] = end - res.FirstMapEnd
+		if end > shuffleEnd {
+			shuffleEnd = end
+		}
+	}
+	res.ShuffleEnd = shuffleEnd
+
+	// Phase 4: reduce.
+	reduceEnd := res.ShuffleEnd
+	for r := 0; r < cfg.Reducers; r++ {
+		nid := reducerNode[r]
+		vol := totalOut / float64(cfg.Reducers)
+		end := res.ShuffleEnd + vol*cfg.ReduceCostFactor/topo.Node(nid).CPURate
+		if end > reduceEnd {
+			reduceEnd = end
+		}
+	}
+	res.ReduceEnd = reduceEnd
+	res.JobTime = reduceEnd
+	res.AnalysisTime = reduceEnd - res.FilterEnd
+
+	if cfg.ExecuteApp {
+		res.Output = collector.reduce(cfg.App)
+	}
+	sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].End < res.Tasks[j].End })
+	return res, nil
+}
+
+// speculate models Hadoop's speculative execution over the per-node
+// analysis durations: for every straggler (duration > speculationFactor ×
+// median), the node with the shortest duration offloads part of the
+// straggler's filtered fragments once it is free, re-reading them over the
+// network. The fragment split f is chosen so both finish together:
+//
+//	d_straggler·f = helperFree + overhead + (1−f)·remoteDuration
+//
+// Durations are mutated in place; the number of helped stragglers is
+// returned. This stays a *reactive* mitigation: it discovers the skew only
+// at runtime and pays network re-reads, whereas DataNet prevents the skew.
+func speculate(topo *cluster.Topology, workload map[cluster.NodeID]int64, durations map[cluster.NodeID]float64, cfg Config) int {
+	const speculationFactor = 1.5
+	ids := topo.IDs()
+	sorted := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		sorted = append(sorted, durations[id])
+	}
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if median <= 0 {
+		return 0
+	}
+	// The fastest node hosts the backups, serially after its own work.
+	var helper cluster.NodeID
+	for i, id := range ids {
+		if i == 0 || durations[id] < durations[helper] {
+			helper = id
+		}
+	}
+	helperFree := durations[helper]
+	wins := 0
+	// Deterministic order: worst straggler first.
+	type cand struct {
+		id  cluster.NodeID
+		dur float64
+	}
+	var stragglers []cand
+	for _, id := range ids {
+		if id != helper && durations[id] > speculationFactor*median {
+			stragglers = append(stragglers, cand{id, durations[id]})
+		}
+	}
+	sort.Slice(stragglers, func(i, j int) bool {
+		if stragglers[i].dur != stragglers[j].dur {
+			return stragglers[i].dur > stragglers[j].dur
+		}
+		return stragglers[i].id < stragglers[j].id
+	})
+	h := topo.Node(helper)
+	for _, s := range stragglers {
+		w := float64(workload[s.id])
+		remote := w/h.NetRate + w*cfg.App.CostFactor()/h.CPURate
+		start := helperFree + cfg.TaskOverhead
+		if s.dur+remote <= 0 {
+			continue
+		}
+		f := (start + remote) / (s.dur + remote)
+		if f >= 1 {
+			continue // the backup cannot beat the original
+		}
+		finish := s.dur * f
+		durations[s.id] = finish
+		helperFree = finish
+		wins++
+	}
+	return wins
+}
+
+func isLocalTask(t sched.Task, node cluster.NodeID) bool {
+	for _, n := range t.Locations {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// collector accumulates real intermediate pairs when ExecuteApp is set.
+type collector struct {
+	groups map[string][]string
+}
+
+func newCollector(cfg Config) *collector {
+	if !cfg.ExecuteApp {
+		return &collector{}
+	}
+	return &collector{groups: make(map[string][]string)}
+}
+
+func (c *collector) runMap(b *hdfs.Block, cfg Config) {
+	emit := func(k, v string) { c.groups[k] = append(c.groups[k], v) }
+	for _, r := range b.Records {
+		if cfg.TargetSub != "" && r.Sub != cfg.TargetSub {
+			continue
+		}
+		cfg.App.Map(r, emit)
+	}
+}
+
+func (c *collector) reduce(app apps.App) map[string]string {
+	out := make(map[string]string, len(c.groups))
+	for k, vs := range c.groups {
+		out[k] = app.Reduce(k, vs)
+	}
+	return out
+}
+
+// FilteredRecords extracts the target sub-dataset from a file — the
+// paper's first-stage "filter and store locally" result, used by examples
+// and tests to validate outputs independently of the engine.
+func FilteredRecords(fs *hdfs.FileSystem, file, sub string) ([]records.Record, error) {
+	blocks, err := fs.Blocks(file)
+	if err != nil {
+		return nil, err
+	}
+	var out []records.Record
+	for _, b := range blocks {
+		for _, r := range b.Records {
+			if sub == "" || r.Sub == sub {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"datanet/internal/apps"
+	"datanet/internal/cluster"
+	"datanet/internal/hdfs"
+	"datanet/internal/records"
+	"datanet/internal/sched"
+)
+
+// randomEnv builds a random small filesystem from fuzzer-ish inputs.
+func randomEnv(seed int64, nRecords, nSubs int, blockSize int64) (*hdfs.FileSystem, string, error) {
+	topo := cluster.MustHomogeneous(5, 2)
+	fs, err := hdfs.NewFileSystem(topo, hdfs.Config{BlockSize: blockSize, Seed: seed})
+	if err != nil {
+		return nil, "", err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]records.Record, nRecords)
+	for i := range recs {
+		recs[i] = records.Record{
+			Sub:     fmt.Sprintf("s%d", rng.Intn(nSubs)),
+			Time:    int64(i),
+			Rating:  float64(rng.Intn(10)) / 2,
+			Payload: string(make([]byte, rng.Intn(120))),
+		}
+	}
+	if _, err := fs.Write("f", recs); err != nil {
+		return nil, "", err
+	}
+	return fs, "s0", nil
+}
+
+// Engine invariants over random datasets and every scheduler:
+//   - the per-node workload sums to the target's total bytes;
+//   - every phase timestamp is ordered;
+//   - the run is deterministic;
+//   - local + remote + skipped task counts equal the block count.
+func TestEngineInvariantsQuick(t *testing.T) {
+	factories := map[string]sched.Factory{
+		"locality": sched.NewLocalityPicker,
+		"delay":    sched.NewDelayedLocalityPicker(2),
+		"datanet":  sched.NewDataNetPicker,
+		"flow":     sched.NewFlowPicker,
+		"lpt":      sched.NewLPTPicker,
+	}
+	check := func(seedRaw uint32, nRecRaw, nSubRaw uint8) bool {
+		seed := int64(seedRaw)
+		nRecords := int(nRecRaw)%400 + 20
+		nSubs := int(nSubRaw)%9 + 1
+		fs, target, err := randomEnv(seed, nRecords, nSubs, 2048)
+		if err != nil {
+			return false
+		}
+		blocks, _ := fs.Blocks("f")
+		var want int64
+		for _, b := range blocks {
+			for _, r := range b.Records {
+				if r.Sub == target {
+					want += r.Size()
+				}
+			}
+		}
+		for name, f := range factories {
+			cfg := Config{
+				FS: fs, File: "f", TargetSub: target,
+				App: apps.WordCount{}, Picker: f,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			var got int64
+			for _, w := range res.NodeWorkload {
+				got += w
+			}
+			if got != want {
+				t.Logf("%s: workload %d != %d", name, got, want)
+				return false
+			}
+			if res.LocalTasks+res.RemoteTasks+res.SkippedBlocks != len(blocks) {
+				t.Logf("%s: task accounting %d+%d+%d != %d blocks",
+					name, res.LocalTasks, res.RemoteTasks, res.SkippedBlocks, len(blocks))
+				return false
+			}
+			if !(res.FilterEnd > 0 && res.FirstMapEnd >= res.FilterEnd &&
+				res.MapEnd >= res.FirstMapEnd && res.ShuffleEnd >= res.MapEnd &&
+				res.ReduceEnd >= res.ShuffleEnd) {
+				t.Logf("%s: phase ordering broken", name)
+				return false
+			}
+			// Determinism.
+			res2, err := Run(cfg)
+			if err != nil || res2.JobTime != res.JobTime ||
+				!reflect.DeepEqual(res2.NodeWorkload, res.NodeWorkload) {
+				t.Logf("%s: nondeterministic", name)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(77))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Reactive options preserve the same invariants.
+func TestEngineReactiveInvariantsQuick(t *testing.T) {
+	check := func(seedRaw uint32, migrate, speculative bool) bool {
+		fs, target, err := randomEnv(int64(seedRaw), 200, 5, 2048)
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			FS: fs, File: "f", TargetSub: target,
+			App: apps.NewTopKSearch(3, "x"), Picker: sched.NewLocalityPicker,
+			RebalanceAfterFilter: migrate, Speculative: speculative,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		blocks, _ := fs.Blocks("f")
+		var want int64
+		for _, b := range blocks {
+			for _, r := range b.Records {
+				if r.Sub == target {
+					want += r.Size()
+				}
+			}
+		}
+		var got int64
+		for _, w := range res.NodeWorkload {
+			got += w
+		}
+		if got != want {
+			return false
+		}
+		if !migrate && (res.MigratedBytes != 0 || res.MigrationTime != 0) {
+			return false
+		}
+		if !speculative && res.SpeculativeWins != 0 {
+			return false
+		}
+		return res.JobTime >= res.FilterEnd
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(78))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"datanet/internal/apps"
+	"datanet/internal/records"
+)
+
+func TestOutputAwareReducersNeverShuffleMore(t *testing.T) {
+	fs, _ := testEnv(t)
+	for _, reducers := range []int{1, 2, 4} {
+		cfg := baseConfig(fs)
+		cfg.Reducers = reducers
+		plain, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.OutputAwareReducers = true
+		aware, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aware.ShuffleBytes > plain.ShuffleBytes {
+			t.Errorf("reducers=%d: output-aware shuffled more: %d vs %d",
+				reducers, aware.ShuffleBytes, plain.ShuffleBytes)
+		}
+		// A single reducer can sit on the node holding all the output in
+		// this small fixture; multiple reducers must always shuffle.
+		if reducers > 1 && plain.ShuffleBytes <= 0 {
+			t.Errorf("reducers=%d: no shuffle volume recorded", reducers)
+		}
+	}
+}
+
+func TestShuffleBytesScaleWithOutputRatio(t *testing.T) {
+	fs, _ := testEnv(t)
+	cfg := baseConfig(fs) // WordCount, OutputRatio 0.5
+	wc, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.App = lightApp{}
+	light, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light.ShuffleBytes >= wc.ShuffleBytes {
+		t.Errorf("lower output ratio should shuffle less: %d vs %d", light.ShuffleBytes, wc.ShuffleBytes)
+	}
+}
+
+// lightApp has a tiny output ratio.
+type lightApp struct{}
+
+var _ apps.App = lightApp{}
+
+func (lightApp) Name() string                   { return "light" }
+func (lightApp) CostFactor() float64            { return 1 }
+func (lightApp) OutputRatio() float64           { return 0.01 }
+func (lightApp) Map(records.Record, apps.Emit)  {}
+func (lightApp) Reduce(string, []string) string { return "" }

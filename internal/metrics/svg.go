@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG chart rendering, stdlib only. Charts are deliberately minimal —
+// axes, ticks, series, legend — and deterministic, so the HTML report is
+// reproducible byte for byte.
+
+// svgPalette cycles through series colors.
+var svgPalette = []string{"#1f6fb2", "#d1495b", "#3a7d44", "#8a6d3b", "#6b5b95", "#444444"}
+
+const (
+	svgW      = 640
+	svgH      = 320
+	svgMargin = 48
+)
+
+// LineSVG renders the figure's series as a line chart.
+func (f *Figure) LineSVG() string {
+	return f.renderSVG(false)
+}
+
+// BarSVG renders the figure's first series as a bar chart (per-node and
+// per-block distributions read better as bars).
+func (f *Figure) BarSVG() string {
+	return f.renderSVG(true)
+}
+
+func (f *Figure) renderSVG(bars bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`, svgW, svgH)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	if len(f.Series) == 0 || len(f.Series[0].X) == 0 {
+		sb.WriteString(`<text x="20" y="20">no data</text></svg>`)
+		return sb.String()
+	}
+
+	// Bounds over all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // anchor y at 0: these are volumes/times
+	for _, s := range f.Series {
+		for i := range s.X {
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+		}
+		for _, y := range s.Y {
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	plotW := float64(svgW - 2*svgMargin)
+	plotH := float64(svgH - 2*svgMargin)
+	px := func(x float64) float64 { return svgMargin + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(svgH-svgMargin) - (y-minY)/(maxY-minY)*plotH }
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		svgMargin, svgH-svgMargin, svgW-svgMargin, svgH-svgMargin)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		svgMargin, svgMargin, svgMargin, svgH-svgMargin)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&sb, `<text x="%.0f" y="%d" text-anchor="middle" fill="#555">%s</text>`,
+			px(xv), svgH-svgMargin+16, fmtTick(xv))
+		fmt.Fprintf(&sb, `<text x="%d" y="%.0f" text-anchor="end" fill="#555">%s</text>`,
+			svgMargin-6, py(yv)+4, fmtTick(yv))
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.0f" x2="%d" y2="%.0f" stroke="#eee"/>`,
+			svgMargin, py(yv), svgW-svgMargin, py(yv))
+	}
+
+	if bars {
+		s := f.Series[0]
+		bw := plotW / float64(len(s.X)) * 0.8
+		for i := range s.X {
+			x := px(s.X[i]) - bw/2
+			y := py(s.Y[i])
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				x, y, bw, float64(svgH-svgMargin)-y, svgPalette[0])
+		}
+	} else {
+		for si, s := range f.Series {
+			color := svgPalette[si%len(svgPalette)]
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+				strings.Join(pts, " "), color)
+		}
+	}
+
+	// Legend.
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		y := svgMargin + si*16
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, svgW-svgMargin-150, y, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#333">%s</text>`, svgW-svgMargin-135, y+9, escapeXML(s.Name))
+		if bars {
+			break
+		}
+	}
+	if f.Caption != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="16" fill="#111" font-size="13">%s</text>`, svgMargin, escapeXML(f.Caption))
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// HTMLTable renders the table as an HTML fragment.
+func (t *Table) HTMLTable() string {
+	var sb strings.Builder
+	sb.WriteString(`<table border="0" cellpadding="4" style="border-collapse:collapse;font-family:sans-serif;font-size:13px">`)
+	if t.Title != "" {
+		fmt.Fprintf(&sb, `<caption style="text-align:left;font-weight:bold;padding:4px">%s</caption>`, escapeXML(t.Title))
+	}
+	sb.WriteString("<tr>")
+	for _, h := range t.Headers {
+		fmt.Fprintf(&sb, `<th style="border-bottom:1px solid #999;text-align:left">%s</th>`, escapeXML(h))
+	}
+	sb.WriteString("</tr>")
+	for _, row := range t.Rows {
+		sb.WriteString("<tr>")
+		for _, c := range row {
+			fmt.Fprintf(&sb, `<td style="border-bottom:1px solid #eee">%s</td>`, escapeXML(c))
+		}
+		sb.WriteString("</tr>")
+	}
+	sb.WriteString("</table>")
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineSVG(t *testing.T) {
+	var f Figure
+	f.Caption = "test <chart>"
+	f.Add("a & b", []float64{0, 1, 2}, []float64{3, 1, 4})
+	f.AddY("second", []float64{1, 2, 3})
+	svg := f.LineSVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polylines = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+	// XML escaping of captions and legend names.
+	if strings.Contains(svg, "test <chart>") || !strings.Contains(svg, "test &lt;chart&gt;") {
+		t.Error("caption not escaped")
+	}
+	if !strings.Contains(svg, "a &amp; b") {
+		t.Error("legend not escaped")
+	}
+}
+
+func TestBarSVG(t *testing.T) {
+	var f Figure
+	f.AddY("bars", []float64{5, 0, 10, 2})
+	svg := f.BarSVG()
+	if strings.Count(svg, "<rect") < 5 { // background + 4 bars
+		t.Errorf("rects = %d", strings.Count(svg, "<rect"))
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	var f Figure
+	svg := f.LineSVG()
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty figure should say so")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	var f Figure
+	f.AddY("flat", []float64{7, 7, 7})
+	svg := f.LineSVG()
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("flat series should still render")
+	}
+	// No NaN coordinates from the degenerate y-range.
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN coordinates in SVG")
+	}
+}
+
+func TestHTMLTable(t *testing.T) {
+	tb := NewTable("T & Co", "col<1>", "col2")
+	tb.Add("a", "b")
+	html := tb.HTMLTable()
+	if !strings.Contains(html, "T &amp; Co") || !strings.Contains(html, "col&lt;1&gt;") {
+		t.Error("HTML escaping missing")
+	}
+	if strings.Count(html, "<tr>") != 2 {
+		t.Errorf("rows = %d", strings.Count(html, "<tr>"))
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		1500000: "1.5M",
+		2500:    "2.5k",
+		42:      "42",
+		0.25:    "0.25",
+		3:       "3",
+	}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Errorf("fmtTick(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

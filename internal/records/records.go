@@ -1,0 +1,261 @@
+// Package records defines the log-record data model shared by the dataset
+// generators, the HDFS model and the MapReduce applications.
+//
+// The paper works on "lists of records, each consisting of several fields
+// such as source/user id, log time, destination, etc." (§II-A). A Record
+// here carries the sub-dataset key (movie id, event type, …), a timestamp,
+// and a free-form payload; Size() is the record's on-disk footprint, the
+// quantity ElasticMap accounts per block (|b ∩ s| is a byte count).
+package records
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Record is one log entry.
+type Record struct {
+	// Sub is the sub-dataset key this record belongs to (e.g. a movie id
+	// such as "movie-00042" or a GitHub event type such as "IssueEvent").
+	Sub string
+	// Time is the event time in seconds since the simulated epoch. Records
+	// in a dataset are stored chronologically, which is what creates
+	// content clustering at the block level.
+	Time int64
+	// Rating is a small numeric field (movie rating, event weight); kept so
+	// MovingAverage has a real numeric series to smooth.
+	Rating float64
+	// Payload is the free-form body (review text, log line).
+	Payload string
+}
+
+// overheadBytes approximates the fixed per-record framing cost (key length
+// prefix, timestamp, rating) in the on-disk representation.
+const overheadBytes = 16
+
+// Size returns the record's storage footprint in bytes. Block packing and
+// all |b ∩ s| accounting use this value.
+func (r Record) Size() int64 {
+	return int64(len(r.Sub) + len(r.Payload) + overheadBytes)
+}
+
+// String renders a compact human-readable form.
+func (r Record) String() string {
+	p := r.Payload
+	if len(p) > 24 {
+		p = p[:24] + "…"
+	}
+	return fmt.Sprintf("{%s t=%d r=%.1f %q}", r.Sub, r.Time, r.Rating, p)
+}
+
+// TotalSize sums Size over a slice of records.
+func TotalSize(recs []Record) int64 {
+	var n int64
+	for _, r := range recs {
+		n += r.Size()
+	}
+	return n
+}
+
+// BySub groups record byte counts by sub-dataset key: the ground-truth
+// |b ∩ s| map for one block, against which ElasticMap is validated.
+func BySub(recs []Record) map[string]int64 {
+	m := make(map[string]int64)
+	for _, r := range recs {
+		m[r.Sub] += r.Size()
+	}
+	return m
+}
+
+// Filter returns the records whose Sub equals sub, in order.
+func Filter(recs []Record, sub string) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Sub == sub {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec. Varint-framed records so datasets can be persisted by
+// cmd/datagen and re-read by the tools; also exercised by tests to make the
+// storage model honest (what is counted is what is written).
+
+var (
+	// ErrCorrupt reports a malformed stream.
+	ErrCorrupt = errors.New("records: corrupt stream")
+	// magic guards encoded streams.
+	magic = [4]byte{'D', 'N', 'R', '1'}
+)
+
+// Writer streams records in binary form.
+type Writer struct {
+	w       *bufio.Writer
+	scratch []byte
+	started bool
+	n       int64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), scratch: make([]byte, binary.MaxVarintLen64)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if !w.started {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	if err := w.putString(r.Sub); err != nil {
+		return err
+	}
+	if err := w.putVarint(r.Time); err != nil {
+		return err
+	}
+	// Ratings are quantized to 1/1000; rounding (not truncation) keeps the
+	// quantization exact for values like -8.142 whose float64 product is
+	// -8141.999….
+	if err := w.putVarint(int64(math.Round(r.Rating * 1000))); err != nil {
+		return err
+	}
+	if err := w.putString(r.Payload); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns how many records were written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered output; call before closing the sink.
+func (w *Writer) Flush() error {
+	if !w.started {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) putVarint(v int64) error {
+	n := binary.PutVarint(w.scratch, v)
+	_, err := w.w.Write(w.scratch[:n])
+	return err
+}
+
+func (w *Writer) putString(s string) error {
+	if err := w.putVarint(int64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.w.WriteString(s)
+	return err
+}
+
+// Reader streams records back.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next record or io.EOF.
+func (r *Reader) Read() (Record, error) {
+	if !r.started {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return Record{}, ErrCorrupt
+			}
+			return Record{}, err
+		}
+		if hdr != magic {
+			return Record{}, ErrCorrupt
+		}
+		r.started = true
+	}
+	sub, err := r.getString()
+	if err == io.EOF {
+		return Record{}, io.EOF // a clean end between records
+	}
+	if err != nil {
+		// Any mid-record truncation (partial varint, short payload) is
+		// corruption, not a clean end.
+		return Record{}, eofIsCorrupt(err)
+	}
+	t, err := r.getVarint()
+	if err != nil {
+		return Record{}, eofIsCorrupt(err)
+	}
+	rat, err := r.getVarint()
+	if err != nil {
+		return Record{}, eofIsCorrupt(err)
+	}
+	payload, err := r.getString()
+	if err != nil {
+		return Record{}, eofIsCorrupt(err)
+	}
+	return Record{Sub: sub, Time: t, Rating: float64(rat) / 1000, Payload: payload}, nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func eofIsCorrupt(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrCorrupt
+	}
+	return err
+}
+
+func (r *Reader) getVarint() (int64, error) {
+	v, err := binary.ReadVarint(r.r)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		// Varint overflow and friends are corruption, not I/O conditions.
+		return v, ErrCorrupt
+	}
+	return v, err
+}
+
+func (r *Reader) getString() (string, error) {
+	n, err := r.getVarint()
+	if err != nil {
+		return "", err
+	}
+	// 16 MiB bounds any sane record field and keeps a hostile 5-byte
+	// stream from demanding a gigabyte allocation.
+	if n < 0 || n > 1<<24 {
+		return "", ErrCorrupt
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return "", eofIsCorrupt(err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,156 @@
+package records
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordSize(t *testing.T) {
+	r := Record{Sub: "movie-1", Payload: "hello"}
+	if got, want := r.Size(), int64(7+5+overheadBytes); got != want {
+		t.Errorf("Size = %d, want %d", got, want)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Sub: "m", Time: 5, Rating: 3.5, Payload: strings.Repeat("x", 40)}
+	s := r.String()
+	if !strings.Contains(s, "m") || !strings.Contains(s, "…") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTotalSizeAndBySub(t *testing.T) {
+	recs := []Record{
+		{Sub: "a", Payload: "1234"},
+		{Sub: "a", Payload: "12"},
+		{Sub: "b", Payload: ""},
+	}
+	if got := TotalSize(recs); got != recs[0].Size()+recs[1].Size()+recs[2].Size() {
+		t.Errorf("TotalSize = %d", got)
+	}
+	by := BySub(recs)
+	if len(by) != 2 {
+		t.Fatalf("BySub groups = %d, want 2", len(by))
+	}
+	if by["a"] != recs[0].Size()+recs[1].Size() {
+		t.Errorf("BySub[a] = %d", by["a"])
+	}
+	if by["b"] != recs[2].Size() {
+		t.Errorf("BySub[b] = %d", by["b"])
+	}
+}
+
+func TestFilter(t *testing.T) {
+	recs := []Record{{Sub: "a", Time: 1}, {Sub: "b", Time: 2}, {Sub: "a", Time: 3}}
+	got := Filter(recs, "a")
+	if len(got) != 2 || got[0].Time != 1 || got[1].Time != 3 {
+		t.Errorf("Filter = %v", got)
+	}
+	if Filter(recs, "zzz") != nil {
+		t.Error("Filter of absent sub should be nil")
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	recs := []Record{
+		{Sub: "movie-00001", Time: 12345, Rating: 4.5, Payload: "great movie"},
+		{Sub: "", Time: -7, Rating: 0, Payload: ""},
+		{Sub: "x", Time: 1 << 40, Rating: 2.125, Payload: strings.Repeat("y", 1000)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Errorf("Count = %d", w.Count())
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("roundtrip mismatch:\n got %v\nwant %v", got, recs)
+	}
+}
+
+func TestCodecRoundtripQuick(t *testing.T) {
+	f := func(sub, payload string, tm int64, rating uint16) bool {
+		in := Record{Sub: sub, Time: tm, Rating: float64(rating) / 8, Payload: payload}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.Write(in) != nil || w.Flush() != nil {
+			return false
+		}
+		out, err := NewReader(&buf).Read()
+		return err == nil && out == in
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream: %v, %v", got, err)
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	r := NewReader(strings.NewReader("XXXXjunk"))
+	if _, err := r.Read(); err != ErrCorrupt {
+		t.Errorf("bad magic err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{Sub: "abc", Payload: "payload"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix (beyond the magic) must fail with ErrCorrupt or
+	// yield no record — never a wrong record or a panic.
+	for cut := 5; cut < len(full)-1; cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		_, err := r.Read()
+		if err == nil {
+			t.Fatalf("truncation at %d silently succeeded", cut)
+		}
+		if err != ErrCorrupt && err != io.EOF && err != io.ErrUnexpectedEOF {
+			t.Fatalf("truncation at %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestCodecHugeLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{'D', 'N', 'R', '1'})
+	// Varint for a negative length.
+	buf.Write([]byte{0x01})
+	if _, err := NewReader(&buf).Read(); err != ErrCorrupt {
+		t.Errorf("negative length err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,629 @@
+// Package sched implements task scheduling for sub-dataset analysis:
+//
+//   - the Hadoop block-locality baseline (the paper's "without DataNet");
+//   - DataNet's distribution-aware Algorithm 1 (the paper's "with
+//     DataNet"): each task request is answered with the block whose
+//     sub-dataset weight moves the requesting node's workload closest to
+//     the cluster average W̄, preferring local replicas;
+//   - an offline max-flow optimal assignment (paper §IV-B, via
+//     internal/graph);
+//   - ablation pickers (LPT greedy, random);
+//   - a dynamic-rebalance comparator modeling SkewTune-style runtime
+//     migration, used for the §V-A.4 ">30% of data migrated" analysis;
+//   - a min-transfer aggregation planner (the paper's stated future work).
+//
+// All pickers implement the pull protocol Hadoop task trackers use: a node
+// with a free slot requests the next task.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+
+	"datanet/internal/cluster"
+	"datanet/internal/graph"
+	"datanet/internal/hdfs"
+)
+
+// Task is one map task: processing one block for the target sub-dataset.
+type Task struct {
+	// Block identifies the HDFS block.
+	Block hdfs.BlockID
+	// Index is the task's position in the job (block order).
+	Index int
+	// Weight is the task's sub-dataset workload |b ∩ s| in bytes, as
+	// estimated by ElasticMap (or ground truth in oracle runs).
+	Weight int64
+	// Bytes is the full block size (scan cost is paid on the whole block).
+	Bytes int64
+	// Locations lists replica-holding nodes.
+	Locations []cluster.NodeID
+}
+
+// Picker hands out tasks under the pull protocol. Implementations are not
+// safe for concurrent use; the engine serializes requests in event order.
+type Picker interface {
+	// Name identifies the scheduling policy.
+	Name() string
+	// Next removes and returns a task for the requesting node. ok is false
+	// when no tasks remain.
+	Next(node cluster.NodeID) (t Task, ok bool)
+	// Remaining reports how many tasks are still unassigned.
+	Remaining() int
+}
+
+// Factory builds a fresh Picker for a job.
+type Factory func(tasks []Task, topo *cluster.Topology) Picker
+
+// isLocal reports whether node holds a replica for t.
+func isLocal(t Task, node cluster.NodeID) bool {
+	for _, n := range t.Locations {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Hadoop locality baseline.
+
+// LocalityPicker models Hadoop's default block-locality-driven scheduling:
+// a requesting node receives its first unprocessed local block (FIFO in
+// block order), falling back to the first remaining block when it has no
+// local work left. Sub-dataset weights are ignored entirely — this is the
+// paper's "without DataNet" configuration.
+type LocalityPicker struct {
+	tasks   []Task
+	taken   []bool
+	byNode  map[cluster.NodeID][]int
+	remain  int
+	nextRem int
+}
+
+// NewLocalityPicker constructs the baseline picker.
+func NewLocalityPicker(tasks []Task, _ *cluster.Topology) Picker {
+	p := &LocalityPicker{
+		tasks:  tasks,
+		taken:  make([]bool, len(tasks)),
+		byNode: make(map[cluster.NodeID][]int),
+		remain: len(tasks),
+	}
+	for i, t := range tasks {
+		for _, n := range t.Locations {
+			p.byNode[n] = append(p.byNode[n], i)
+		}
+	}
+	return p
+}
+
+// Name implements Picker.
+func (p *LocalityPicker) Name() string { return "hadoop-locality" }
+
+// Remaining implements Picker.
+func (p *LocalityPicker) Remaining() int { return p.remain }
+
+// Next implements Picker.
+func (p *LocalityPicker) Next(node cluster.NodeID) (Task, bool) {
+	if p.remain == 0 {
+		return Task{}, false
+	}
+	// Local FIFO.
+	queue := p.byNode[node]
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		if !p.taken[i] {
+			p.byNode[node] = queue
+			return p.take(i), true
+		}
+	}
+	p.byNode[node] = queue
+	// Remote FIFO.
+	for p.nextRem < len(p.tasks) && p.taken[p.nextRem] {
+		p.nextRem++
+	}
+	if p.nextRem < len(p.tasks) {
+		return p.take(p.nextRem), true
+	}
+	return Task{}, false
+}
+
+func (p *LocalityPicker) take(i int) Task {
+	p.taken[i] = true
+	p.remain--
+	return p.tasks[i]
+}
+
+// DelayedLocalityPicker refines the baseline with Hadoop's delay
+// scheduling: a node with no local work declines up to Delay consecutive
+// requests (hoping a local block frees up as other nodes drain the queue)
+// before accepting a remote block. It raises data-locality at the cost of
+// idle slots — the real Hadoop trade-off — and serves as a stronger
+// baseline ablation.
+type DelayedLocalityPicker struct {
+	inner   *LocalityPicker
+	delay   int
+	waiting map[cluster.NodeID]int
+}
+
+// NewDelayedLocalityPicker returns a Factory with the given maximum
+// number of declined requests per node.
+func NewDelayedLocalityPicker(delay int) Factory {
+	return func(tasks []Task, topo *cluster.Topology) Picker {
+		return &DelayedLocalityPicker{
+			inner:   NewLocalityPicker(tasks, topo).(*LocalityPicker),
+			delay:   delay,
+			waiting: make(map[cluster.NodeID]int),
+		}
+	}
+}
+
+// Name implements Picker.
+func (p *DelayedLocalityPicker) Name() string { return "hadoop-delay" }
+
+// Remaining implements Picker.
+func (p *DelayedLocalityPicker) Remaining() int { return p.inner.Remaining() }
+
+// Next implements Picker. The ok=false return while waiting is
+// indistinguishable from exhaustion to a naive caller, so the engine's
+// retry loop (slots keep requesting until Remaining()==0) provides the
+// "ask again later" semantics.
+func (p *DelayedLocalityPicker) Next(node cluster.NodeID) (Task, bool) {
+	if p.inner.remain == 0 {
+		return Task{}, false
+	}
+	// Serve a local block if one exists (also resets the wait counter).
+	queue := p.inner.byNode[node]
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		if !p.inner.taken[i] {
+			p.inner.byNode[node] = queue
+			p.waiting[node] = 0
+			return p.inner.take(i), true
+		}
+	}
+	p.inner.byNode[node] = queue
+	if p.waiting[node] < p.delay {
+		p.waiting[node]++
+		return Task{}, false // decline; the slot will ask again
+	}
+	p.waiting[node] = 0
+	return p.inner.Next(node) // give up waiting: remote FIFO
+}
+
+// ---------------------------------------------------------------------------
+// DataNet Algorithm 1.
+
+// DataNetPicker implements the paper's Algorithm 1: distribution-aware,
+// workload-balanced assignment of block tasks using the ElasticMap
+// weights. Because DataNet's defining property is that the sub-dataset
+// distribution is known *before* the job launches (§IV: "we could identify
+// the imbalanced distribution of sub-datasets before launching the actual
+// analysis tasks"), the picker materializes the balanced assignment up
+// front and serves it through the pull protocol:
+//
+//   - tasks are placed in descending weight order, each on the
+//     replica-holding node whose projected workload stays lowest (the
+//     assignment Algorithm 1's argmin |W_i + |b_x ∩ s| − W̄| objective
+//     converges to; evaluating that argmin one myopic pull at a time
+//     instead would let zero-weight blocks starve under-target nodes and
+//     strand heavy blocks on whoever requests last);
+//   - a task is assigned off-replica (a remote read) only when every
+//     replica holder is already far ahead of the least-loaded node —
+//     Algorithm 1's line-12 fallback, rate-limited because remote scans
+//     cost network time;
+//   - zero-weight blocks are spread by task count so per-task overheads
+//     stay balanced too;
+//   - at execution time a node that drains its queue steals the lightest
+//     task from the heaviest remaining queue, keeping the pull protocol
+//     deadlock-free and self-correcting.
+type DataNetPicker struct {
+	queues   map[cluster.NodeID][]Task
+	workload map[cluster.NodeID]int64
+	remain   int
+	name     string
+}
+
+// assistFactor controls off-replica assignment: a task may go remote when
+// the best local holder is more than assistFactor×weight ahead of the
+// globally least-loaded node.
+const assistFactor = 2.0
+
+// NewDataNetPicker constructs Algorithm 1 with a uniform workload target
+// W̄ (homogeneous clusters, as in the paper's evaluation).
+func NewDataNetPicker(tasks []Task, topo *cluster.Topology) Picker {
+	return newDataNet(tasks, topo, false)
+}
+
+// NewCapacityAwarePicker is Algorithm 1 with per-node targets proportional
+// to CPU capacity ("according to the computing capability of computational
+// nodes, we can calculate the amount of sub-datasets to be assigned to
+// each node", §IV-B) — the heterogeneous-cluster variant.
+func NewCapacityAwarePicker(tasks []Task, topo *cluster.Topology) Picker {
+	return newDataNet(tasks, topo, true)
+}
+
+func newDataNet(tasks []Task, topo *cluster.Topology, capacityAware bool) Picker {
+	m := topo.N()
+	name := "datanet"
+	// Per-node capacity shares normalize projected loads on heterogeneous
+	// clusters ("according to the computing capability of computational
+	// nodes", §IV-B).
+	share := make([]float64, m)
+	for i, id := range topo.IDs() {
+		if capacityAware {
+			share[i] = topo.CapacityShare(id)
+			name = "datanet-capacity"
+		} else {
+			share[i] = 1 / float64(m)
+		}
+		if share[i] <= 0 {
+			share[i] = 1 / float64(m)
+		}
+		_ = id
+	}
+
+	// Place tasks in descending weight order (stable, so equal-weight
+	// blocks keep file order).
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tasks[order[a]].Weight > tasks[order[b]].Weight
+	})
+
+	load := make([]float64, m) // normalized: bytes / share
+	count := make([]int, m)
+	rawLoad := make([]int64, m)
+	queues := make(map[cluster.NodeID][]Task, m)
+
+	better := func(a, b int) bool { // is node a a better placement than b?
+		if b == -1 {
+			return true
+		}
+		if load[a] != load[b] {
+			return load[a] < load[b]
+		}
+		if count[a] != count[b] {
+			return count[a] < count[b]
+		}
+		return a < b
+	}
+
+	for _, ti := range order {
+		t := tasks[ti]
+		bestLocal := -1
+		for _, loc := range t.Locations {
+			if int(loc) >= 0 && int(loc) < m && better(int(loc), bestLocal) {
+				bestLocal = int(loc)
+			}
+		}
+		gmin := 0
+		for i := 1; i < m; i++ {
+			if better(i, gmin) {
+				gmin = i
+			}
+		}
+		pick := bestLocal
+		if bestLocal == -1 {
+			pick = gmin
+		} else if t.Weight > 0 {
+			// Off-replica assist (line-12 fallback): only when every local
+			// holder is far ahead of the least-loaded node. Loads are in
+			// normalized (capacity-adjusted) bytes, so the task's weight is
+			// normalized at the receiving node's scale for the comparison.
+			wNorm := float64(t.Weight) / (share[gmin] * float64(m))
+			if load[bestLocal]-load[gmin] > assistFactor*wNorm {
+				pick = gmin
+			}
+		}
+		load[pick] += float64(t.Weight) / (share[pick] * float64(m))
+		count[pick]++
+		rawLoad[pick] += t.Weight
+		id := cluster.NodeID(pick)
+		queues[id] = append(queues[id], t)
+	}
+
+	p := &DataNetPicker{
+		queues:   queues,
+		workload: make(map[cluster.NodeID]int64, m),
+		remain:   len(tasks),
+		name:     name,
+	}
+	for i, w := range rawLoad {
+		p.workload[cluster.NodeID(i)] = w
+	}
+	return p
+}
+
+// Name implements Picker.
+func (p *DataNetPicker) Name() string { return p.name }
+
+// Remaining implements Picker.
+func (p *DataNetPicker) Remaining() int { return p.remain }
+
+// Next implements Picker: serve the node's precomputed queue
+// heaviest-first; when the queue is empty, steal so early finishers absorb
+// slack instead of idling. Stealing takes the *globally lightest*
+// remaining task (preferring one whose replica the thief already holds) —
+// zero-weight blocks migrate freely while the weight plan, including
+// capacity-aware targets on heterogeneous clusters, stays intact; a heavy
+// task only moves when nothing lighter remains anywhere.
+func (p *DataNetPicker) Next(node cluster.NodeID) (Task, bool) {
+	if p.remain == 0 {
+		return Task{}, false
+	}
+	if q := p.queues[node]; len(q) > 0 {
+		t := q[0]
+		p.queues[node] = q[1:]
+		p.remain--
+		return t, true
+	}
+	// Steal. Queues are sorted heaviest-first, so each queue's candidate
+	// is its last element; among local-to-thief candidates (scanning each
+	// queue tail-first) pick the lightest, falling back to the lightest
+	// candidate overall. Ties break toward the lower victim id.
+	pick := func(localOnly bool) (cluster.NodeID, int) {
+		var victim cluster.NodeID
+		idx := -1
+		var bestW int64 = -1
+		for id, q := range p.queues {
+			if len(q) == 0 {
+				continue
+			}
+			cand := -1
+			if localOnly {
+				for i := len(q) - 1; i >= 0; i-- {
+					if isLocal(q[i], node) {
+						cand = i
+						break
+					}
+				}
+			} else {
+				cand = len(q) - 1
+			}
+			if cand == -1 {
+				continue
+			}
+			w := q[cand].Weight
+			if idx == -1 || w < bestW || (w == bestW && id < victim) {
+				victim, idx, bestW = id, cand, w
+			}
+		}
+		return victim, idx
+	}
+	victim, idx := pick(true)
+	if idx == -1 {
+		victim, idx = pick(false)
+	}
+	if idx == -1 {
+		return Task{}, false
+	}
+	q := p.queues[victim]
+	t := q[idx]
+	p.queues[victim] = append(q[:idx:idx], q[idx+1:]...)
+	p.remain--
+	p.workload[victim] -= t.Weight
+	p.workload[node] += t.Weight
+	return t, true
+}
+
+// Workloads exposes the per-node accumulated weights (after a run).
+func (p *DataNetPicker) Workloads() map[cluster.NodeID]int64 {
+	out := make(map[cluster.NodeID]int64, len(p.workload))
+	for k, v := range p.workload {
+		out[k] = v
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Ablation pickers.
+
+// LPTPicker is a longest-processing-time greedy: a requesting node takes
+// its heaviest unprocessed local block (else the heaviest remaining).
+// Classic makespan heuristic; an ablation contrast for Algorithm 1.
+type LPTPicker struct {
+	tasks  []Task
+	taken  []bool
+	byNode map[cluster.NodeID][]int
+	order  []int // all tasks, heaviest first
+	remain int
+}
+
+// NewLPTPicker constructs the LPT picker.
+func NewLPTPicker(tasks []Task, _ *cluster.Topology) Picker {
+	p := &LPTPicker{
+		tasks:  tasks,
+		taken:  make([]bool, len(tasks)),
+		byNode: make(map[cluster.NodeID][]int),
+		remain: len(tasks),
+	}
+	for i, t := range tasks {
+		for _, n := range t.Locations {
+			p.byNode[n] = append(p.byNode[n], i)
+		}
+	}
+	p.order = make([]int, len(tasks))
+	for i := range p.order {
+		p.order[i] = i
+	}
+	sort.SliceStable(p.order, func(a, b int) bool {
+		return tasks[p.order[a]].Weight > tasks[p.order[b]].Weight
+	})
+	for n := range p.byNode {
+		idx := p.byNode[n]
+		sort.SliceStable(idx, func(a, b int) bool {
+			return tasks[idx[a]].Weight > tasks[idx[b]].Weight
+		})
+	}
+	return p
+}
+
+// Name implements Picker.
+func (p *LPTPicker) Name() string { return "lpt-greedy" }
+
+// Remaining implements Picker.
+func (p *LPTPicker) Remaining() int { return p.remain }
+
+// Next implements Picker.
+func (p *LPTPicker) Next(node cluster.NodeID) (Task, bool) {
+	if p.remain == 0 {
+		return Task{}, false
+	}
+	for _, i := range p.byNode[node] {
+		if !p.taken[i] {
+			return p.take(i), true
+		}
+	}
+	for _, i := range p.order {
+		if !p.taken[i] {
+			return p.take(i), true
+		}
+	}
+	return Task{}, false
+}
+
+func (p *LPTPicker) take(i int) Task {
+	p.taken[i] = true
+	p.remain--
+	return p.tasks[i]
+}
+
+// RandomPicker assigns a uniformly random remaining local task (else a
+// random remaining task). It isolates how much of the imbalance is due to
+// FIFO order versus locality itself.
+type RandomPicker struct {
+	tasks  []Task
+	taken  []bool
+	byNode map[cluster.NodeID][]int
+	rng    *rand.Rand
+	remain int
+}
+
+// NewRandomPicker returns a Factory seeded for reproducibility.
+func NewRandomPicker(seed int64) Factory {
+	return func(tasks []Task, _ *cluster.Topology) Picker {
+		p := &RandomPicker{
+			tasks:  tasks,
+			taken:  make([]bool, len(tasks)),
+			byNode: make(map[cluster.NodeID][]int),
+			rng:    rand.New(rand.NewSource(seed)),
+			remain: len(tasks),
+		}
+		for i, t := range tasks {
+			for _, n := range t.Locations {
+				p.byNode[n] = append(p.byNode[n], i)
+			}
+		}
+		return p
+	}
+}
+
+// Name implements Picker.
+func (p *RandomPicker) Name() string { return "random-local" }
+
+// Remaining implements Picker.
+func (p *RandomPicker) Remaining() int { return p.remain }
+
+// Next implements Picker.
+func (p *RandomPicker) Next(node cluster.NodeID) (Task, bool) {
+	if p.remain == 0 {
+		return Task{}, false
+	}
+	var cand []int
+	for _, i := range p.byNode[node] {
+		if !p.taken[i] {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		for i := range p.tasks {
+			if !p.taken[i] {
+				cand = append(cand, i)
+			}
+		}
+	}
+	if len(cand) == 0 {
+		return Task{}, false
+	}
+	i := cand[p.rng.Intn(len(cand))]
+	p.taken[i] = true
+	p.remain--
+	return p.tasks[i], true
+}
+
+// ---------------------------------------------------------------------------
+// Offline max-flow assignment wrapped in the pull interface.
+
+// StaticPicker serves a precomputed node→tasks assignment; requests from a
+// node drain its own queue first, then steal from the most-loaded queue.
+type StaticPicker struct {
+	name   string
+	queues map[cluster.NodeID][]Task
+	remain int
+}
+
+// NewFlowPicker computes the max-flow balanced assignment (paper §IV-B,
+// Ford–Fulkerson) and serves it statically.
+func NewFlowPicker(tasks []Task, topo *cluster.Topology) Picker {
+	weights := make([]int64, len(tasks))
+	locs := make([][]int, len(tasks))
+	for i, t := range tasks {
+		weights[i] = t.Weight
+		locs[i] = make([]int, len(t.Locations))
+		for k, n := range t.Locations {
+			locs[i][k] = int(n)
+		}
+	}
+	g := graph.NewBipartite(topo.N(), weights, locs)
+	assign := graph.BalancedAssignment(g)
+	queues := make(map[cluster.NodeID][]Task, len(assign))
+	for n, idxs := range assign {
+		for _, i := range idxs {
+			queues[cluster.NodeID(n)] = append(queues[cluster.NodeID(n)], tasks[i])
+		}
+	}
+	return &StaticPicker{name: "maxflow-optimal", queues: queues, remain: len(tasks)}
+}
+
+// Name implements Picker.
+func (p *StaticPicker) Name() string { return p.name }
+
+// Remaining implements Picker.
+func (p *StaticPicker) Remaining() int { return p.remain }
+
+// Next implements Picker.
+func (p *StaticPicker) Next(node cluster.NodeID) (Task, bool) {
+	if p.remain == 0 {
+		return Task{}, false
+	}
+	if q := p.queues[node]; len(q) > 0 {
+		t := q[0]
+		p.queues[node] = q[1:]
+		p.remain--
+		return t, true
+	}
+	// Work stealing from the largest remaining queue keeps the simulation
+	// deadlock-free when a node finishes early.
+	var victim cluster.NodeID
+	best := -1
+	for n, q := range p.queues {
+		if len(q) > best {
+			best, victim = len(q), n
+		} else if len(q) == best && n < victim {
+			victim = n
+		}
+	}
+	if best <= 0 {
+		return Task{}, false
+	}
+	q := p.queues[victim]
+	t := q[len(q)-1]
+	p.queues[victim] = q[:len(q)-1]
+	p.remain--
+	return t, true
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// FitGammaMoments estimates Γ(k, θ) parameters from a sample by the method
+// of moments: k = mean²/var, θ = var/mean. It validates the paper's §II-B
+// modeling choice against generated per-block distributions. Returns an
+// invalid Gamma for degenerate samples.
+func FitGammaMoments(xs []float64) Gamma {
+	s := Summarize(xs)
+	if s.N < 2 || s.Mean <= 0 || s.Std <= 0 {
+		return Gamma{}
+	}
+	v := s.Std * s.Std
+	return Gamma{K: s.Mean * s.Mean / v, Theta: v / s.Mean}
+}
+
+// FitGammaMLE refines a moments estimate with Newton iterations on the
+// profile likelihood: ln k − ψ(k) = ln(mean) − mean(ln x). Zero values are
+// excluded (the Gamma support is positive; the paper's model concerns
+// blocks that do hold data). Falls back to the moments fit when the
+// iteration cannot proceed.
+func FitGammaMLE(xs []float64) Gamma {
+	var n int
+	var sum, sumLog float64
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		n++
+		sum += x
+		sumLog += math.Log(x)
+	}
+	if n < 2 {
+		return Gamma{}
+	}
+	mean := sum / float64(n)
+	s := math.Log(mean) - sumLog/float64(n)
+	if s <= 0 {
+		return FitGammaMoments(positive(xs))
+	}
+	// Standard initialization.
+	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	for i := 0; i < 50; i++ {
+		f := math.Log(k) - digamma(k) - s
+		fp := 1/k - trigamma(k)
+		step := f / fp
+		next := k - step
+		if next <= 0 || math.IsNaN(next) {
+			break
+		}
+		if math.Abs(next-k) < 1e-12*k {
+			k = next
+			break
+		}
+		k = next
+	}
+	if k <= 0 || math.IsNaN(k) {
+		return FitGammaMoments(positive(xs))
+	}
+	return Gamma{K: k, Theta: mean / k}
+}
+
+func positive(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// digamma evaluates ψ(x) via the recurrence to x ≥ 6 plus the asymptotic
+// series.
+func digamma(x float64) float64 {
+	r := 0.0
+	for x < 6 {
+		r -= 1 / x
+		x++
+	}
+	f := 1 / (x * x)
+	return r + math.Log(x) - 0.5/x -
+		f*(1.0/12-f*(1.0/120-f*(1.0/252-f*(1.0/240-f/132))))
+}
+
+// trigamma evaluates ψ'(x) the same way.
+func trigamma(x float64) float64 {
+	r := 0.0
+	for x < 6 {
+		r += 1 / (x * x)
+		x++
+	}
+	f := 1 / (x * x)
+	return r + 1/x + f/2 + f/x*(1.0/6-f*(1.0/30-f*(1.0/42-f/30)))
+}
+
+// KSStatistic returns the Kolmogorov–Smirnov distance between the sample
+// and the distribution — a goodness-of-fit score for the Gamma model
+// (smaller is better; ~1.36/√n is the 5% critical value).
+func KSStatistic(xs []float64, g Gamma) float64 {
+	if len(xs) == 0 || !g.Valid() {
+		return 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		cdf := g.CDF(x)
+		lo := float64(i)/n - cdf
+		hi := cdf - float64(i+1)/n
+		if lo < 0 {
+			lo = -lo
+		}
+		if hi < 0 {
+			hi = -hi
+		}
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}

@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Poisson draws a Poisson-distributed count with mean lambda. Knuth's
+// multiplication method is used for small lambda; for large lambda the
+// sampler switches to a normal approximation with continuity correction,
+// which is ample for workload generation.
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		x := math.Round(rng.NormFloat64()*math.Sqrt(lambda) + lambda)
+		if x < 0 {
+			return 0
+		}
+		return int(x)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Exponential draws an exponential variate with the given mean.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}
