@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, modelcheck, aggregation, amortization, blocksize, replication)")
+	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, modelcheck, aggregation, amortization, blocksize, replication, faulttol)")
 	csvDir := flag.String("csv", "", "also write the figure series as CSV files into this directory")
 	htmlOut := flag.String("html", "", "also write a self-contained HTML report (inline SVG) to this path")
 	flag.Parse()
@@ -133,6 +133,8 @@ func runOne(name string) error {
 		return print(experiments.Replication(nil, experiments.MovieParams{}))
 	case "amortization":
 		return print(experiments.Amortization(nil))
+	case "faulttol":
+		return print(experiments.FaultTolerance(experiments.MovieParams{}))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"datanet"
@@ -55,6 +57,7 @@ func usage() {
   build   -data FILE -meta OUT [-alpha A] [-block BYTES] [-nodes N]
   query   -data FILE -sub KEY [-meta FILE]
   analyze -data FILE -sub KEY -app NAME [-sched locality|datanet|maxflow|lpt] [-skip]
+          [-meta FILE] [-crash N@T[:REJOIN],...] [-slow NxF,...] [-readerr P] [-retries N]
   top     -data FILE [-n N] | -meta FILE [-n N]
   verify  -data FILE -meta FILE [-samples N]`)
 	os.Exit(2)
@@ -196,6 +199,12 @@ func runAnalyze(args []string) error {
 	skip := c.fs.Bool("skip", false, "skip blocks proven empty of the target")
 	execute := c.fs.Bool("exec", false, "execute the application and print the top output pairs")
 	alpha := c.fs.Float64("alpha", 0.3, "hash-map share α")
+	metaIn := c.fs.String("meta", "", "reuse an encoded ElasticMap array (corrupt file degrades to locality)")
+	crashSpec := c.fs.String("crash", "", "inject crashes: N@T[:REJOIN],... (node N dies at T s, optionally rejoins)")
+	slowSpec := c.fs.String("slow", "", "degrade nodes: NxF,... (node N runs at factor F of full speed)")
+	readErr := c.fs.Float64("readerr", 0, "transient block-read failure probability per attempt")
+	retries := c.fs.Int("retries", 0, "max attempts per task under faults (0 = default 4)")
+	faultSeed := c.fs.Int64("faultseed", 1, "seed for deterministic transient errors")
 	c.fs.Parse(args)
 	if *sub == "" {
 		return fmt.Errorf("-sub is required")
@@ -233,15 +242,35 @@ func runAnalyze(args []string) error {
 		return fmt.Errorf("unknown scheduler %q", *schedName)
 	}
 	var meta *datanet.Meta
+	var metaErr error
 	if schedID != datanet.SchedulerLocality {
-		if meta, err = datanet.BuildMeta(hfs, "data", datanet.MetaOptions{Alpha: *alpha}); err != nil {
+		if *metaIn != "" {
+			// Lenient load: a corrupt ElasticMap file demotes the job to
+			// the locality baseline instead of aborting the analysis.
+			blob, err := os.ReadFile(*metaIn)
+			if err != nil {
+				return err
+			}
+			if meta, err = datanet.DecodeMeta(blob, "data"); err != nil {
+				if !errors.Is(err, elasticmap.ErrCodec) {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "datanet: warning: %v — falling back to locality scheduling\n", err)
+				meta, metaErr = nil, err
+			}
+		} else if meta, err = datanet.BuildMeta(hfs, "data", datanet.MetaOptions{Alpha: *alpha}); err != nil {
 			return err
 		}
 	}
+	plan, err := parseFaultPlan(*crashSpec, *slowSpec, *readErr, *faultSeed)
+	if err != nil {
+		return err
+	}
 	res, err := datanet.Job{
 		FS: hfs, File: "data", Target: *sub,
-		App: app, Scheduler: schedID, Meta: meta,
+		App: app, Scheduler: schedID, Meta: meta, MetaErr: metaErr,
 		SkipEmpty: *skip, Execute: *execute,
+		Faults: plan, Retry: datanet.RetryPolicy{MaxAttempts: *retries},
 	}.Run()
 	if err != nil {
 		return err
@@ -251,6 +280,13 @@ func runAnalyze(args []string) error {
 		res.FilterEnd, res.LocalTasks, res.RemoteTasks, res.SkippedBlocks)
 	fmt.Printf("  analysis job:   %8.2f s\n", res.AnalysisTime)
 	fmt.Printf("  total makespan: %8.2f s\n", res.JobTime)
+	if res.NodeCrashes > 0 || res.TasksRetried > 0 || res.TransientErrors > 0 {
+		fmt.Printf("  fault handling: %d node crashes, %d tasks retried, %d transient read errors, %d outputs lost, %d replicas repaired\n",
+			res.NodeCrashes, res.TasksRetried, res.TransientErrors, res.LostOutputs, res.ReplicasRepaired)
+	}
+	if res.MetadataFallback {
+		fmt.Printf("  metadata fallback: degraded to %s\n", res.SchedulerName)
+	}
 	var loads []int64
 	for _, w := range res.NodeWorkload {
 		loads = append(loads, w)
@@ -384,6 +420,62 @@ func runVerify(args []string) error {
 	}
 	fmt.Printf("verified: worst top-%d relative error %.2f%%\n", n, worst*100)
 	return nil
+}
+
+// parseFaultPlan assembles a datanet.FaultPlan from the CLI specs:
+// -crash "4@10,11@10:25" (node 4 dies at 10 s; node 11 dies at 10 s and
+// rejoins at 25 s), -slow "3x0.5" (node 3 at half speed), -readerr 0.01.
+// It returns nil when no fault knob is set so the engine stays on the
+// fault-free fast path.
+func parseFaultPlan(crashSpec, slowSpec string, readErr float64, seed int64) (*datanet.FaultPlan, error) {
+	if crashSpec == "" && slowSpec == "" && readErr == 0 {
+		return nil, nil
+	}
+	plan := &datanet.FaultPlan{Seed: seed, Read: datanet.ReadErrors{Prob: readErr}}
+	if crashSpec != "" {
+		for _, part := range strings.Split(crashSpec, ",") {
+			nodeStr, timeStr, ok := strings.Cut(part, "@")
+			if !ok {
+				return nil, fmt.Errorf("bad -crash entry %q (want N@T[:REJOIN])", part)
+			}
+			node, err := strconv.Atoi(nodeStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad -crash node in %q: %v", part, err)
+			}
+			atStr, rejoinStr, hasRejoin := strings.Cut(timeStr, ":")
+			at, err := strconv.ParseFloat(atStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -crash time in %q: %v", part, err)
+			}
+			cr := datanet.Crash{Node: datanet.NodeID(node), At: at}
+			if hasRejoin {
+				if cr.RejoinAt, err = strconv.ParseFloat(rejoinStr, 64); err != nil {
+					return nil, fmt.Errorf("bad -crash rejoin in %q: %v", part, err)
+				}
+			}
+			plan.Crashes = append(plan.Crashes, cr)
+		}
+	}
+	if slowSpec != "" {
+		for _, part := range strings.Split(slowSpec, ",") {
+			nodeStr, facStr, ok := strings.Cut(part, "x")
+			if !ok {
+				return nil, fmt.Errorf("bad -slow entry %q (want NxF)", part)
+			}
+			node, err := strconv.Atoi(nodeStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad -slow node in %q: %v", part, err)
+			}
+			f, err := strconv.ParseFloat(facStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -slow factor in %q: %v", part, err)
+			}
+			plan.Slow = append(plan.Slow, datanet.Slowdown{
+				Node: datanet.NodeID(node), CPU: f, Disk: f, Net: f,
+			})
+		}
+	}
+	return plan, nil
 }
 
 func printTopOutput(out map[string]string, n int) {

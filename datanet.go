@@ -28,6 +28,7 @@ import (
 	"datanet/internal/apps"
 	"datanet/internal/cluster"
 	"datanet/internal/elasticmap"
+	"datanet/internal/faults"
 	"datanet/internal/hdfs"
 	"datanet/internal/mapreduce"
 	"datanet/internal/records"
@@ -61,6 +62,34 @@ type App = apps.App
 
 // Result is a completed job's outcome.
 type Result = mapreduce.Result
+
+// FaultPlan schedules failures for a run: node crashes (permanent or with
+// rejoin), degraded hardware rates, and transient read errors. All faults
+// are deterministic functions of the plan, so runs replay identically.
+type FaultPlan = faults.Plan
+
+// Crash kills one node at a simulated time (see FaultPlan).
+type Crash = faults.Crash
+
+// Slowdown scales one node's CPU/disk/NIC rates (see FaultPlan).
+type Slowdown = faults.Slowdown
+
+// ReadErrors configures transient per-attempt block-read failures.
+type ReadErrors = faults.ReadErrors
+
+// RetryPolicy bounds task re-execution under faults (attempt cap and
+// exponential backoff in simulated time).
+type RetryPolicy = faults.RetryPolicy
+
+// Typed job-failure errors under faults.
+var (
+	// ErrDataLost: every replica of a needed block was destroyed.
+	ErrDataLost = mapreduce.ErrDataLost
+	// ErrRetriesExhausted: a task exceeded its attempt cap.
+	ErrRetriesExhausted = mapreduce.ErrRetriesExhausted
+	// ErrNoLiveNodes: the whole cluster died before the job finished.
+	ErrNoLiveNodes = mapreduce.ErrNoLiveNodes
+)
 
 // NewCluster builds n homogeneous nodes over the given rack count; it
 // panics on invalid sizes (use cluster.NewHomogeneous via the internal
@@ -228,6 +257,18 @@ type Job struct {
 	Execute bool
 	// Reducers overrides the reduce-task count (default: one per node).
 	Reducers int
+	// Faults, when non-nil, injects failures (crashes, slowdowns, read
+	// errors) into the run; the engine recovers via re-replication and
+	// bounded retries, or fails with a typed error (ErrDataLost,
+	// ErrRetriesExhausted, ErrNoLiveNodes) when recovery is impossible.
+	Faults *FaultPlan
+	// Retry bounds task re-execution under faults; zero fields take
+	// Hadoop-like defaults (4 attempts, 0.5 s backoff, doubling).
+	Retry RetryPolicy
+	// MetaErr records that meta-data for this job failed to load (e.g. a
+	// corrupt ElasticMap encoding). The job then degrades to the locality
+	// baseline and sets Result.MetadataFallback instead of failing.
+	MetaErr error
 }
 
 // Run executes the job on the simulated engine.
@@ -246,6 +287,9 @@ func (j Job) Run() (*Result, error) {
 		SkipEmpty:  j.SkipEmpty && weights != nil,
 		Reducers:   j.Reducers,
 		ExecuteApp: j.Execute,
+		Faults:     j.Faults,
+		Retry:      j.Retry,
+		WeightsErr: j.MetaErr,
 	})
 }
 

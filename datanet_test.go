@@ -242,3 +242,59 @@ func TestQuickstartFlow(t *testing.T) {
 		t.Errorf("word count = %q, want 1000", res.Output["log"])
 	}
 }
+
+// TestJobWithFaults drives the public fault surface: a crash plan must
+// leave the answer identical to the fault-free run, and a metadata load
+// error must degrade the scheduler rather than fail the job.
+func TestJobWithFaults(t *testing.T) {
+	fs, meta, target := buildFixture(t)
+	job := datanet.Job{
+		FS: fs, File: "reviews.log", Target: target,
+		App: datanet.WordCount(), Scheduler: datanet.SchedulerDataNet,
+		Meta: meta, Execute: true,
+	}
+	clean, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := job
+	faulty.Faults = &datanet.FaultPlan{
+		Seed:    3,
+		Crashes: []datanet.Crash{{Node: 2, At: clean.FilterEnd / 2}},
+		Read:    datanet.ReadErrors{Prob: 0.02},
+	}
+	faulty.Retry = datanet.RetryPolicy{MaxAttempts: 8}
+	fr, err := faulty.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.NodeCrashes != 1 {
+		t.Errorf("NodeCrashes = %d, want 1", fr.NodeCrashes)
+	}
+	if len(fr.Output) != len(clean.Output) {
+		t.Fatalf("output size diverged under faults: %d vs %d", len(fr.Output), len(clean.Output))
+	}
+	for k, v := range clean.Output {
+		if fr.Output[k] != v {
+			t.Fatalf("output[%q] diverged under faults: %q vs %q", k, fr.Output[k], v)
+		}
+	}
+
+	degraded := job
+	degraded.Meta = nil
+	degraded.MetaErr = fmt.Errorf("meta file unreadable")
+	dr, err := degraded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.MetadataFallback {
+		t.Error("MetadataFallback not set")
+	}
+	if !strings.Contains(dr.SchedulerName, "fallback") {
+		t.Errorf("scheduler %q does not record the fallback", dr.SchedulerName)
+	}
+	if dr.Output["movie"] != clean.Output["movie"] {
+		t.Errorf("fallback output diverged: %q vs %q", dr.Output["movie"], clean.Output["movie"])
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"datanet/internal/apps"
+	"datanet/internal/cluster"
+	"datanet/internal/elasticmap"
+	"datanet/internal/faults"
+	"datanet/internal/gen"
+	"datanet/internal/hdfs"
+	"datanet/internal/mapreduce"
+	"datanet/internal/metrics"
+	"datanet/internal/records"
+	"datanet/internal/sched"
+)
+
+// This experiment evaluates the failure-aware execution paths the paper's
+// healthy-cluster evaluation never exercises: node crashes mid-filter with
+// HDFS re-replication and task retry, compared across DataNet, the
+// hadoop-locality baseline, and speculative execution — plus the
+// degraded-metadata arm, where a corrupt ElasticMap encoding must demote
+// DataNet to the locality baseline rather than fail the job.
+
+// FaultTolRow is one (scheduler, fault plan) outcome.
+type FaultTolRow struct {
+	Scheduler string
+	// Crashes is the number of nodes killed; CrashFrac is when, as a
+	// fraction of the fault-free filter makespan.
+	Crashes   int
+	CrashFrac float64
+	JobTime   float64
+	// Slowdown is JobTime relative to the same scheduler's fault-free run.
+	Slowdown float64
+	Retried  int
+	Lost     int
+	Repaired int
+	// OutputOK reports the executed output matched the fault-free run —
+	// the correctness contract of crash recovery.
+	OutputOK bool
+}
+
+// FaultTolResult is the fault-tolerance sweep.
+type FaultTolResult struct {
+	Rows     []FaultTolRow
+	Counters metrics.FaultCounters
+	// FallbackSched is the scheduler name recorded by the
+	// degraded-metadata run; FallbackOK reports its output still matched.
+	FallbackSched string
+	FallbackOK    bool
+}
+
+// DefaultFaultParams sizes the fault-tolerance environment: 16 nodes in 2
+// racks, 64 blocks of 64 KiB — small enough that the ~20 runs of the
+// sweep stay fast, large enough that every node owns filter work.
+func DefaultFaultParams() MovieParams {
+	return MovieParams{
+		Nodes:      16,
+		Racks:      2,
+		Blocks:     64,
+		BlockBytes: 64 << 10,
+		Movies:     500,
+		Alpha:      elasticmap.DefaultAlpha,
+		Seed:       42,
+	}
+}
+
+// faultFS builds a fresh filesystem with an identical layout on every
+// call. Crashes mutate the replica map, so each run needs its own
+// instance; determinism of (topology seed, placement seed) guarantees the
+// instances are indistinguishable.
+func faultFS(recs []records.Record, p MovieParams) (*hdfs.FileSystem, error) {
+	topo, err := scaledTopology(p.Nodes, p.Racks, p.BlockBytes)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := hdfs.NewFileSystem(topo, hdfs.Config{
+		BlockSize:   p.BlockBytes,
+		Replication: hdfs.DefaultReplication,
+		Placement:   hdfs.RandomPlacement{},
+		Seed:        p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fs.Write("dataset.log", recs); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// FaultTolerance sweeps crash count and timing across schedulers.
+func FaultTolerance(p MovieParams) (*FaultTolResult, error) {
+	if p.Nodes <= 0 {
+		p = DefaultFaultParams()
+	}
+	const meanRecordBytes = 305
+	recs := gen.Movies(gen.MovieConfig{
+		Movies:   p.Movies,
+		Reviews:  int(p.BlockBytes) * p.Blocks / meanRecordBytes,
+		SpanDays: 365,
+		Seed:     p.Seed,
+	})
+	target := gen.MovieID(0)
+	app := apps.WordCount{}
+
+	// ElasticMap weights, built once: the block split is a pure function
+	// of block size and record stream, identical across fs instances.
+	seedFS, err := faultFS(recs, p)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := seedFS.Blocks("dataset.log")
+	if err != nil {
+		return nil, err
+	}
+	perBlock := make([][]records.Record, len(blocks))
+	for i, b := range blocks {
+		perBlock[i] = b.Records
+	}
+	arr := elasticmap.Build(perBlock, elasticmap.Options{
+		Alpha:        p.Alpha,
+		BucketBounds: elasticmap.ScaledFibonacciBounds(p.BlockBytes),
+	})
+	weights := make([]int64, arr.Len())
+	for _, be := range arr.Distribution(target) {
+		weights[be.Block] = be.Size
+	}
+
+	baseCfg := func(fs *hdfs.FileSystem) mapreduce.Config {
+		return mapreduce.Config{
+			FS:         fs,
+			File:       "dataset.log",
+			TargetSub:  target,
+			App:        app,
+			Picker:     sched.NewLocalityPicker,
+			ExecuteApp: true,
+		}
+	}
+	schedulers := []struct {
+		name  string
+		tweak func(*mapreduce.Config)
+	}{
+		{"hadoop-locality", func(c *mapreduce.Config) {}},
+		{"datanet", func(c *mapreduce.Config) {
+			c.Picker = sched.NewDataNetPicker
+			c.Weights = weights
+		}},
+		{"speculative", func(c *mapreduce.Config) { c.Speculative = true }},
+	}
+
+	res := &FaultTolResult{}
+	for _, s := range schedulers {
+		// Fault-free reference run (also calibrates the crash clock).
+		fs, err := faultFS(recs, p)
+		if err != nil {
+			return nil, err
+		}
+		cfg := baseCfg(fs)
+		s.tweak(&cfg)
+		clean, err := mapreduce.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Crash-count sweep at mid-filter, then a timing sweep at 2 crashes.
+		type arm struct {
+			crashes int
+			frac    float64
+		}
+		arms := []arm{{0, 0.5}, {1, 0.5}, {2, 0.5}, {4, 0.5}, {2, 0.25}, {2, 0.75}}
+		for _, a := range arms {
+			fs, err := faultFS(recs, p)
+			if err != nil {
+				return nil, err
+			}
+			cfg := baseCfg(fs)
+			s.tweak(&cfg)
+			plan := &faults.Plan{Seed: p.Seed}
+			at := clean.FilterEnd * a.frac
+			for k := 0; k < a.crashes; k++ {
+				// Victims spread over both racks (ids interleave racks).
+				plan.Crashes = append(plan.Crashes, faults.Crash{
+					Node: cluster.NodeID(2 + 3*k), At: at,
+				})
+			}
+			cfg.Faults = plan
+			r, err := mapreduce.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("faulttol %s crashes=%d: %w", s.name, a.crashes, err)
+			}
+			row := FaultTolRow{
+				Scheduler: s.name,
+				Crashes:   a.crashes,
+				CrashFrac: a.frac,
+				JobTime:   r.JobTime,
+				Retried:   r.TasksRetried,
+				Lost:      r.LostOutputs,
+				Repaired:  r.ReplicasRepaired,
+				OutputOK:  reflect.DeepEqual(r.Output, clean.Output),
+			}
+			if clean.JobTime > 0 {
+				row.Slowdown = r.JobTime / clean.JobTime
+			}
+			res.Rows = append(res.Rows, row)
+			res.Counters.Observe(r.NodeCrashes, r.TasksRetried, r.TransientErrors,
+				r.LostOutputs, r.ReplicasRepaired, r.SpeculativeWins, r.MetadataFallback)
+		}
+	}
+
+	// Degraded-metadata arm: the DataNet job's ElasticMap encoding is
+	// corrupt; the run must demote itself to the locality baseline,
+	// record the fallback, and still produce the right answer.
+	fs, err := faultFS(recs, p)
+	if err != nil {
+		return nil, err
+	}
+	refFS, err := faultFS(recs, p)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := mapreduce.Run(baseCfg(refFS))
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseCfg(fs)
+	cfg.Picker = sched.NewDataNetPicker
+	cfg.WeightsErr = elasticmap.ErrCodec
+	fb, err := mapreduce.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("faulttol metadata fallback: %w", err)
+	}
+	res.FallbackSched = fb.SchedulerName
+	res.FallbackOK = fb.MetadataFallback && reflect.DeepEqual(fb.Output, ref.Output)
+	res.Counters.Observe(fb.NodeCrashes, fb.TasksRetried, fb.TransientErrors,
+		fb.LostOutputs, fb.ReplicasRepaired, fb.SpeculativeWins, fb.MetadataFallback)
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *FaultTolResult) String() string {
+	t := metrics.NewTable("Robustness — crash recovery across schedulers (fault-injection sweep)",
+		"scheduler", "crashes", "at", "job time", "slowdown", "retried", "lost", "repaired", "output")
+	for _, row := range r.Rows {
+		ok := "ok"
+		if !row.OutputOK {
+			ok = "DIVERGED"
+		}
+		t.Add(row.Scheduler, fmt.Sprint(row.Crashes),
+			fmt.Sprintf("%.0f%% filter", 100*row.CrashFrac),
+			metrics.Seconds(row.JobTime), fmt.Sprintf("%.2fx", row.Slowdown),
+			fmt.Sprint(row.Retried), fmt.Sprint(row.Lost), fmt.Sprint(row.Repaired), ok)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteString(r.Counters.Table("Fault-handling totals across the sweep").String())
+	fmt.Fprintf(&sb, "  degraded metadata: scheduler %q, output correct: %v\n", r.FallbackSched, r.FallbackOK)
+	sb.WriteString("  (crash recovery re-runs lost filter tasks on surviving replica holders; the job's answer must never change)\n")
+	return sb.String()
+}

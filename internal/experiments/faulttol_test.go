@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultTolerance(t *testing.T) {
+	res, err := FaultTolerance(MovieParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sawCrash := false
+	for _, row := range res.Rows {
+		if !row.OutputOK {
+			t.Errorf("%s with %d crashes produced a diverged output", row.Scheduler, row.Crashes)
+		}
+		if row.Crashes == 0 {
+			if row.Slowdown != 1 {
+				t.Errorf("%s fault-free slowdown = %.2f, want 1", row.Scheduler, row.Slowdown)
+			}
+			continue
+		}
+		sawCrash = true
+		if row.Retried == 0 && row.Lost == 0 {
+			t.Errorf("%s with %d crashes reports no recovery work", row.Scheduler, row.Crashes)
+		}
+		if row.Repaired == 0 {
+			t.Errorf("%s with %d crashes reports no re-replication", row.Scheduler, row.Crashes)
+		}
+		if row.Slowdown < 1 {
+			t.Errorf("%s with %d crashes ran faster than fault-free (%.2fx)", row.Scheduler, row.Crashes, row.Slowdown)
+		}
+	}
+	if !sawCrash {
+		t.Fatal("sweep exercised no crashes")
+	}
+	if !res.Counters.Any() || res.Counters.NodeCrashes == 0 {
+		t.Errorf("counters did not record the sweep: %+v", res.Counters)
+	}
+	if !res.FallbackOK {
+		t.Error("degraded-metadata arm did not fall back correctly")
+	}
+	if !strings.Contains(res.FallbackSched, "fallback") {
+		t.Errorf("fallback scheduler name %q does not record degradation", res.FallbackSched)
+	}
+	if out := res.String(); !strings.Contains(out, "Robustness") || !strings.Contains(out, "metadata fallbacks") {
+		t.Error("rendering is missing expected sections")
+	}
+}

@@ -147,6 +147,28 @@ func WriteHTMLReport(path string) error {
 	fig10.Add("min/avg", ax, mn)
 	section("Figure 10 — balance vs α", fig10.LineSVG())
 
+	// Fault tolerance (robustness extension: crash recovery sweep).
+	ft, err := FaultTolerance(MovieParams{})
+	if err != nil {
+		return err
+	}
+	tft := metrics.NewTable("Crash recovery across schedulers",
+		"scheduler", "crashes", "at", "job time", "slowdown", "retried", "repaired", "output")
+	for _, row := range ft.Rows {
+		ok := "ok"
+		if !row.OutputOK {
+			ok = "DIVERGED"
+		}
+		tft.Add(row.Scheduler, fmt.Sprint(row.Crashes),
+			metrics.Pct(row.CrashFrac), metrics.Seconds(row.JobTime),
+			fmt.Sprintf("%.2fx", row.Slowdown), fmt.Sprint(row.Retried),
+			fmt.Sprint(row.Repaired), ok)
+	}
+	ftBody := tft.HTMLTable() + ft.Counters.Table("Fault-handling totals").HTMLTable() +
+		fmt.Sprintf("<p>Degraded metadata demotes DataNet to %q (output correct: %v).</p>",
+			ft.FallbackSched, ft.FallbackOK)
+	section("Fault tolerance — crash recovery sweep", ftBody)
+
 	sb.WriteString(`</body></html>`)
 	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }

@@ -137,5 +137,9 @@ func RunSuite(w io.Writer) error {
 	if err := section(rep, err); err != nil {
 		return err
 	}
+	ft, err := FaultTolerance(MovieParams{})
+	if err := section(ft, err); err != nil {
+		return err
+	}
 	return nil
 }

@@ -1,0 +1,273 @@
+// Package faults models cluster failures for the simulated MapReduce
+// engine: node crashes (permanent or with rejoin), degraded nodes whose
+// CPU/disk/NIC run at a fraction of their rated speed, and transient
+// block-read errors with a per-attempt probability. A Plan is a pure,
+// seeded description of what goes wrong and when; an Injector answers the
+// engine's point queries ("is node 3 dead at t=12.5?", "does attempt 2 on
+// block 7 fail?") deterministically, so identical plans always produce
+// identical simulated executions.
+//
+// The paper evaluates DataNet on a healthy cluster; this package supplies
+// the adversarial half of that evaluation. Crash semantics follow HDFS
+// after the re-replication timeout: a crashed node's replicas are treated
+// as lost (the name-node repairs redundancy from surviving copies), and a
+// rejoining node returns empty.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"datanet/internal/cluster"
+)
+
+// ErrBadPlan reports an invalid fault plan.
+var ErrBadPlan = errors.New("faults: invalid plan")
+
+// Crash kills one node at a simulated time. A node may crash more than
+// once if it rejoins in between.
+type Crash struct {
+	// Node is the victim.
+	Node cluster.NodeID
+	// At is the simulated time of the crash, in seconds from job start.
+	At float64
+	// RejoinAt, when greater than At, brings the node back (empty: its
+	// replicas were re-replicated away) at that time. Zero or ≤ At means
+	// the crash is permanent.
+	RejoinAt float64
+}
+
+// permanent reports whether the crash has no rejoin.
+func (c Crash) permanent() bool { return c.RejoinAt <= c.At }
+
+// Slowdown scales one node's hardware rates for the whole run, modeling a
+// degraded machine (failing disk, thermal throttling, oversubscribed NIC).
+// Factors are multipliers in (0, 1]; a zero factor means "unchanged".
+type Slowdown struct {
+	Node cluster.NodeID
+	// CPU, Disk and Net scale the corresponding rates. 0.5 = half speed.
+	CPU, Disk, Net float64
+}
+
+// ReadErrors injects transient block-read failures: every read attempt
+// independently fails with probability Prob. Failures are a deterministic
+// function of (seed, block, node, attempt), so retries on another node or
+// a later attempt can succeed while replays of the same attempt always
+// fail identically.
+type ReadErrors struct {
+	Prob float64
+}
+
+// Plan is one job's complete fault schedule.
+type Plan struct {
+	// Seed drives the deterministic transient-error hash.
+	Seed int64
+	// Crashes lists node-crash events.
+	Crashes []Crash
+	// Slow lists degraded nodes.
+	Slow []Slowdown
+	// Read configures transient read errors.
+	Read ReadErrors
+}
+
+// Validate checks the plan against a cluster of n nodes.
+func (p *Plan) Validate(n int) error {
+	if p == nil {
+		return nil
+	}
+	for _, c := range p.Crashes {
+		if int(c.Node) < 0 || int(c.Node) >= n {
+			return fmt.Errorf("%w: crash node %d out of range [0,%d)", ErrBadPlan, c.Node, n)
+		}
+		if c.At < 0 || math.IsNaN(c.At) || math.IsInf(c.At, 0) {
+			return fmt.Errorf("%w: crash time %v", ErrBadPlan, c.At)
+		}
+		if c.RejoinAt != 0 && (math.IsNaN(c.RejoinAt) || math.IsInf(c.RejoinAt, 0)) {
+			return fmt.Errorf("%w: rejoin time %v", ErrBadPlan, c.RejoinAt)
+		}
+	}
+	for _, s := range p.Slow {
+		if int(s.Node) < 0 || int(s.Node) >= n {
+			return fmt.Errorf("%w: slowdown node %d out of range [0,%d)", ErrBadPlan, s.Node, n)
+		}
+		for _, f := range []float64{s.CPU, s.Disk, s.Net} {
+			if f < 0 || f > 1 || math.IsNaN(f) {
+				return fmt.Errorf("%w: slowdown factor %v not in [0,1]", ErrBadPlan, f)
+			}
+		}
+	}
+	if p.Read.Prob < 0 || p.Read.Prob >= 1 || math.IsNaN(p.Read.Prob) {
+		return fmt.Errorf("%w: read-error probability %v not in [0,1)", ErrBadPlan, p.Read.Prob)
+	}
+	return nil
+}
+
+// RetryPolicy bounds task re-execution after crashes and read errors.
+type RetryPolicy struct {
+	// MaxAttempts caps total executions of one task (first run included).
+	// Zero selects DefaultMaxAttempts.
+	MaxAttempts int
+	// Backoff is the delay before the first retry, in simulated seconds;
+	// each further retry doubles it. Zero selects DefaultBackoff.
+	Backoff float64
+}
+
+// Default retry parameters (Hadoop defaults to 4 map attempts).
+const (
+	DefaultMaxAttempts = 4
+	DefaultBackoff     = 0.5
+)
+
+// WithDefaults fills zero fields.
+func (r RetryPolicy) WithDefaults() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = DefaultMaxAttempts
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = DefaultBackoff
+	}
+	return r
+}
+
+// Delay returns the backoff before retry number n (1-based): Backoff ×
+// 2^(n−1), exponential in simulated time.
+func (r RetryPolicy) Delay(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return r.Backoff * math.Pow(2, float64(n-1))
+}
+
+// Injector answers the engine's fault queries for one run. A nil-plan
+// injector is inert (reports a healthy cluster) so the engine needs no
+// branching on "faults configured?".
+type Injector struct {
+	crashes []Crash // sorted by (At, Node)
+	slow    map[cluster.NodeID]Slowdown
+	prob    float64
+	seed    int64
+	active  bool
+}
+
+// NewInjector validates the plan against n nodes and builds the injector.
+// A nil plan yields an inert injector and no error.
+func NewInjector(p *Plan, n int) (*Injector, error) {
+	in := &Injector{slow: map[cluster.NodeID]Slowdown{}}
+	if p == nil {
+		return in, nil
+	}
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	in.active = true
+	in.seed = p.Seed
+	in.prob = p.Read.Prob
+	in.crashes = append(in.crashes, p.Crashes...)
+	sort.SliceStable(in.crashes, func(i, j int) bool {
+		if in.crashes[i].At != in.crashes[j].At {
+			return in.crashes[i].At < in.crashes[j].At
+		}
+		return in.crashes[i].Node < in.crashes[j].Node
+	})
+	for _, s := range p.Slow {
+		in.slow[s.Node] = s
+	}
+	return in, nil
+}
+
+// Active reports whether any fault source is configured.
+func (in *Injector) Active() bool { return in.active }
+
+// Crashes returns the crash events sorted by time (callers must not
+// mutate the slice).
+func (in *Injector) Crashes() []Crash { return in.crashes }
+
+// DeadAt reports whether the node is down at simulated time t: some crash
+// with At ≤ t has no rejoin, or rejoins after t.
+func (in *Injector) DeadAt(id cluster.NodeID, t float64) bool {
+	for _, c := range in.crashes {
+		if c.Node != id || c.At > t {
+			continue
+		}
+		if c.permanent() || c.RejoinAt > t {
+			return true
+		}
+	}
+	return false
+}
+
+// RejoinAfter returns the earliest time strictly greater than t at which
+// the (currently dead) node is alive again; ok is false when the node
+// never returns.
+func (in *Injector) RejoinAfter(id cluster.NodeID, t float64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, c := range in.crashes {
+		if c.Node != id || c.At > t {
+			continue
+		}
+		if c.permanent() {
+			return 0, false
+		}
+		if c.RejoinAt > t && (!ok || c.RejoinAt < best) {
+			best, ok = c.RejoinAt, true
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	// The rejoin must not itself fall inside a later crash interval.
+	if in.DeadAt(id, best) {
+		return in.RejoinAfter(id, best)
+	}
+	return best, ok
+}
+
+// scaled applies a slowdown factor (0 = unchanged).
+func scaled(base, f float64) float64 {
+	if f > 0 {
+		return base * f
+	}
+	return base
+}
+
+// CPURate returns the node's effective CPU rate.
+func (in *Injector) CPURate(id cluster.NodeID, base float64) float64 {
+	return scaled(base, in.slow[id].CPU)
+}
+
+// DiskRate returns the node's effective disk rate.
+func (in *Injector) DiskRate(id cluster.NodeID, base float64) float64 {
+	return scaled(base, in.slow[id].Disk)
+}
+
+// NetRate returns the node's effective NIC rate.
+func (in *Injector) NetRate(id cluster.NodeID, base float64) float64 {
+	return scaled(base, in.slow[id].Net)
+}
+
+// ReadFails reports whether read attempt number attempt (1-based) of the
+// given block on the given node suffers a transient error. The outcome is
+// a pure hash of (seed, block, node, attempt) — independent of call order,
+// so simulations replay bit-identically.
+func (in *Injector) ReadFails(block, node, attempt int) bool {
+	if in.prob <= 0 {
+		return false
+	}
+	h := splitmix64(uint64(in.seed)<<1 ^ 0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ uint64(block)*0xbf58476d1ce4e5b9)
+	h = splitmix64(h ^ uint64(node)*0x94d049bb133111eb)
+	h = splitmix64(h ^ uint64(attempt))
+	// Top 53 bits → uniform float64 in [0,1).
+	u := float64(h>>11) / float64(1<<53)
+	return u < in.prob
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -59,13 +59,19 @@ func (fs *FileSystem) DecommissionNode(id cluster.NodeID) (int, error) {
 // pickTarget returns the least-utilized live node that holds no replica of
 // b and is not the excluded node.
 func (fs *FileSystem) pickTarget(b *Block, usage map[cluster.NodeID]int64, exclude cluster.NodeID) (cluster.NodeID, bool) {
+	return fs.pickTargetExcluding(b, usage, map[cluster.NodeID]bool{exclude: true})
+}
+
+// pickTargetExcluding generalizes pickTarget to a set of excluded
+// (typically dead) nodes.
+func (fs *FileSystem) pickTargetExcluding(b *Block, usage map[cluster.NodeID]int64, exclude map[cluster.NodeID]bool) (cluster.NodeID, bool) {
 	has := make(map[cluster.NodeID]bool, len(b.Replicas))
 	for _, n := range b.Replicas {
 		has[n] = true
 	}
 	best := cluster.NodeID(-1)
 	for _, id := range fs.topo.IDs() {
-		if id == exclude || has[id] {
+		if exclude[id] || has[id] {
 			continue
 		}
 		if best == -1 || usage[id] < usage[best] || (usage[id] == usage[best] && id < best) {
@@ -73,6 +79,62 @@ func (fs *FileSystem) pickTarget(b *Block, usage map[cluster.NodeID]int64, exclu
 		}
 	}
 	return best, best != -1
+}
+
+// FailNodes models the simultaneous loss of a set of data-nodes — a rack
+// power event, or one crash while earlier victims are still down. Every
+// replica on a dead node is dropped; blocks that still have a surviving
+// copy are re-replicated back to the configured factor on live nodes
+// (fewest-bytes-first, like the name-node), while blocks whose replicas
+// all sat on dead nodes are unrecoverable and returned in lost. Unlike
+// DecommissionNode, failing to restore the full factor (too few live
+// nodes) leaves blocks under-replicated rather than erroring: that is the
+// degraded-but-running state a real name-node reports via fsck, and
+// ReplicationHealth surfaces it here.
+//
+// Calling FailNodes again with a superset of dead nodes is idempotent for
+// the already-processed ones, which is how the engine applies crashes
+// accumulating over a job's lifetime.
+func (fs *FileSystem) FailNodes(dead []cluster.NodeID) (moved int, lost []BlockID) {
+	deadSet := make(map[cluster.NodeID]bool, len(dead))
+	for _, id := range dead {
+		if int(id) >= 0 && int(id) < fs.topo.N() {
+			deadSet[id] = true
+		}
+	}
+	if len(deadSet) == 0 {
+		return 0, nil
+	}
+	usage := fs.Usage()
+	for _, b := range fs.blocks {
+		// Drop dead replicas in place, preserving order.
+		live := b.Replicas[:0]
+		for _, n := range b.Replicas {
+			if !deadSet[n] {
+				live = append(live, n)
+			}
+		}
+		dropped := len(b.Replicas) - len(live)
+		b.Replicas = live
+		if dropped == 0 {
+			continue
+		}
+		if len(b.Replicas) == 0 {
+			lost = append(lost, b.ID)
+			continue
+		}
+		for len(b.Replicas) < fs.cfg.Replication {
+			target, ok := fs.pickTargetExcluding(b, usage, deadSet)
+			if !ok {
+				break // under-replicated; ReplicationHealth will report it
+			}
+			b.Replicas = append(b.Replicas, target)
+			usage[target] += b.Bytes
+			moved++
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	return moved, lost
 }
 
 // BalanceReport summarizes replica distribution over nodes.

@@ -27,12 +27,13 @@
 package mapreduce
 
 import (
-	"container/heap"
 	"errors"
+	"fmt"
 	"sort"
 
 	"datanet/internal/apps"
 	"datanet/internal/cluster"
+	"datanet/internal/faults"
 	"datanet/internal/hdfs"
 	"datanet/internal/records"
 	"datanet/internal/sched"
@@ -96,6 +97,21 @@ type Config struct {
 	// defers to future work ("ElasticMap can also be used to minimize the
 	// data transferred", §IV-B).
 	OutputAwareReducers bool
+	// Faults, when non-nil, injects failures into the run: node crashes
+	// (with HDFS re-replication and task retry on surviving replica
+	// holders), degraded hardware rates, and transient read errors. Nil
+	// simulates a healthy cluster.
+	Faults *faults.Plan
+	// Retry bounds task re-execution under faults; zero fields take the
+	// Hadoop-like defaults (4 attempts, 0.5 s base backoff, doubling).
+	Retry faults.RetryPolicy
+	// WeightsErr records that the caller tried and failed to obtain
+	// ElasticMap weights (e.g. elasticmap.ErrCodec on a corrupt encoding).
+	// The engine then degrades gracefully: the job runs under the locality
+	// baseline and Result.MetadataFallback is set, instead of failing or
+	// scheduling on garbage. (A nil Weights with a nil WeightsErr still
+	// means "oracle truth" as before.)
+	WeightsErr error
 }
 
 // sameRackAsAnyReplica reports whether node shares a rack with any replica
@@ -119,6 +135,12 @@ type TaskStat struct {
 	Compute float64 // seconds in the filter function
 	Matched int64   // ground-truth sub-dataset bytes in the block
 	Local   bool
+	// Attempt is the 1-based execution attempt that produced this stat
+	// (always 1 on a healthy cluster).
+	Attempt int
+	// Lost marks an output later destroyed by its node's crash; the task
+	// appears again with a higher Attempt on a surviving node.
+	Lost bool
 }
 
 // Result is the outcome of a run. All times are simulated seconds from
@@ -165,6 +187,22 @@ type Result struct {
 	Output map[string]string
 	// SchedulerName echoes the picker used.
 	SchedulerName string
+	// NodeCrashes counts crash events applied during the run.
+	NodeCrashes int
+	// TasksRetried counts filter-task re-executions forced by crashes or
+	// read errors (including analysis-phase fragment recoveries).
+	TasksRetried int
+	// TransientErrors counts injected read failures that burned an attempt.
+	TransientErrors int
+	// LostOutputs counts committed filter outputs destroyed by crashes.
+	LostOutputs int
+	// ReplicasRepaired counts block replicas the name-node re-created after
+	// crashes.
+	ReplicasRepaired int
+	// MetadataFallback reports that ElasticMap weights were missing or
+	// invalid and the job degraded to the locality baseline (the reason is
+	// embedded in SchedulerName).
+	MetadataFallback bool
 }
 
 // Errors.
@@ -172,35 +210,6 @@ var (
 	ErrNoApp    = errors.New("mapreduce: config needs an App")
 	ErrNoPicker = errors.New("mapreduce: config needs a Picker factory")
 )
-
-// slotEvent is one free execution slot becoming available.
-type slotEvent struct {
-	at   float64
-	node cluster.NodeID
-	slot int
-}
-
-type slotHeap []slotEvent
-
-func (h slotHeap) Len() int { return len(h) }
-func (h slotHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].node != h[j].node {
-		return h[i].node < h[j].node
-	}
-	return h[i].slot < h[j].slot
-}
-func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slotEvent)) }
-func (h *slotHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
 
 // Run executes the job.
 func Run(cfg Config) (*Result, error) {
@@ -215,6 +224,11 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	topo := cfg.FS.Topology()
+	inj, err := faults.NewInjector(cfg.Faults, topo.N())
+	if err != nil {
+		return nil, err
+	}
+	retry := cfg.Retry.WithDefaults()
 	if cfg.Reducers <= 0 {
 		cfg.Reducers = topo.N()
 	}
@@ -245,6 +259,26 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Graceful degradation: when the caller's ElasticMap meta-data failed
+	// to load (WeightsErr) or the provided weight vector does not describe
+	// this layout, the job must not fail or schedule on garbage — it runs
+	// under the locality baseline and says so. Nil Weights with nil
+	// WeightsErr still means "oracle truth" as before.
+	fallbackReason := ""
+	if cfg.WeightsErr != nil {
+		fallbackReason = cfg.WeightsErr.Error()
+	} else if cfg.Weights != nil {
+		if verr := sched.ValidateWeights(cfg.Weights, len(blocks)); verr != nil {
+			fallbackReason = verr.Error()
+		}
+	}
+	factory := cfg.Picker
+	if fallbackReason != "" {
+		factory = sched.NewFallbackLocality(fallbackReason)
+		cfg.Weights = nil     // untrusted estimates must not leak into tasks
+		cfg.SkipEmpty = false // nor may they drop blocks
+	}
+
 	// Scheduling weights: ElasticMap estimates when provided, else truth.
 	weights := cfg.Weights
 	if weights == nil {
@@ -252,9 +286,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		NodeBusy:     make(map[cluster.NodeID]float64),
-		NodeCompute:  make(map[cluster.NodeID]float64),
-		NodeWorkload: make(map[cluster.NodeID]int64),
+		NodeBusy:         make(map[cluster.NodeID]float64),
+		NodeCompute:      make(map[cluster.NodeID]float64),
+		NodeWorkload:     make(map[cluster.NodeID]int64),
+		MetadataFallback: fallbackReason != "",
 	}
 
 	// Build the filter-phase task list.
@@ -277,74 +312,27 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
-	picker := cfg.Picker(tasks, topo)
+	picker := factory(tasks, topo)
 	res.SchedulerName = picker.Name()
 
-	// Phase 1: filter. Event-driven slot simulation under the pull model.
-	nodeTasks := make(map[cluster.NodeID]int, topo.N())
-	var h slotHeap
-	for _, id := range topo.IDs() {
-		for s := 0; s < topo.Node(id).Slots; s++ {
-			heap.Push(&h, slotEvent{at: 0, node: id, slot: s})
-		}
+	// Phase 1: filter. Event-driven slot simulation under the pull model,
+	// with failure-aware execution (crash detection, re-replication, retry
+	// with backoff on surviving replica holders) — see filter.go.
+	sim := newFilterSim(cfg, topo, inj, retry, tasks, truth, picker, res)
+	if err := sim.run(); err != nil {
+		return nil, err
 	}
-	collector := newCollector(cfg)
-	// A declined request (ok=false while tasks remain) models Hadoop's
-	// heartbeat protocol: the slot asks again after a heartbeat interval
-	// (delay scheduling relies on this). A bounded retry count guards
-	// against a picker that never serves.
-	heartbeat := cfg.TaskOverhead
-	idleRetries := 0
-	const maxIdleRetries = 1 << 20
-	for h.Len() > 0 {
-		ev := heap.Pop(&h).(slotEvent)
-		t, ok := picker.Next(ev.node)
-		if !ok {
-			if picker.Remaining() > 0 && idleRetries < maxIdleRetries {
-				idleRetries++
-				heap.Push(&h, slotEvent{at: ev.at + heartbeat, node: ev.node, slot: ev.slot})
-			}
-			continue // otherwise the slot retires
-		}
-		idleRetries = 0
-		node := topo.Node(ev.node)
-		local := isLocalTask(t, ev.node)
-		matched := truth[t.Index]
-		scan := float64(t.Bytes) / node.DiskRate
-		if !local {
-			// Remote read: full NIC rate within the rack; cross-rack links
-			// are oversubscribed by CrossRackPenalty (classic two-tier
-			// datacenter fabric). The read is rack-local when any replica
-			// shares the requester's rack.
-			rate := node.NetRate
-			if !sameRackAsAnyReplica(topo, t, ev.node) {
-				rate /= cfg.CrossRackPenalty
-			}
-			scan += float64(t.Bytes) / rate
-		}
-		compute := float64(matched) * cfg.FilterCostFactor / node.CPURate
-		dur := cfg.TaskOverhead + scan + compute
-		end := ev.at + dur
+	nodeTasks := sim.nodeTasks
 
-		res.Tasks = append(res.Tasks, TaskStat{
-			Task: t, Node: ev.node, Start: ev.at, End: end,
-			Scan: scan, Compute: compute, Matched: matched, Local: local,
-		})
-		res.NodeBusy[ev.node] += dur
-		res.NodeWorkload[ev.node] += matched
-		nodeTasks[ev.node]++
-		if local {
-			res.LocalTasks++
-		} else {
-			res.RemoteTasks++
-		}
-		if end > res.FilterEnd {
-			res.FilterEnd = end
-		}
-		if cfg.ExecuteApp {
+	// The real application output is exactly-once per task regardless of
+	// how many attempts its block needed: the collector replays the task
+	// list (block order = file order) after the surviving outputs are
+	// known.
+	collector := newCollector(cfg)
+	if cfg.ExecuteApp {
+		for _, t := range tasks {
 			collector.runMap(blocks[t.Index], cfg)
 		}
-		heap.Push(&h, slotEvent{at: end, node: ev.node, slot: ev.slot})
 	}
 
 	// Optional reactive rebalance (§V-A.4 comparator): level the filtered
@@ -362,7 +350,7 @@ func Run(cfg Config) (*Result, error) {
 			res.NodeWorkload[mv.To] += mv.Bytes
 		}
 		for id, bytes := range endpointBytes {
-			t := float64(bytes) / topo.Node(id).NetRate
+			t := float64(bytes) / inj.NetRate(id, topo.Node(id).NetRate)
 			if t > res.MigrationTime {
 				res.MigrationTime = t
 			}
@@ -385,10 +373,23 @@ func Run(cfg Config) (*Result, error) {
 		node := topo.Node(id)
 		w := res.NodeWorkload[id]
 		durations[id] = float64(nodeTasks[id])*cfg.TaskOverhead +
-			float64(w)*cfg.App.CostFactor()/node.CPURate
+			float64(w)*cfg.App.CostFactor()/inj.CPURate(id, node.CPURate)
+	}
+	// Crashes striking after the filter barrier destroy the victim's
+	// stored fragments mid-analysis; a surviving node re-reads and redoes
+	// that share (see filterSim.recoverAnalysis). Recovery is applied
+	// before speculative execution mitigates the remaining stragglers.
+	if err := sim.recoverAnalysis(analysisStart, durations); err != nil {
+		return nil, err
+	}
+	live := make([]cluster.NodeID, 0, topo.N())
+	for _, id := range topo.IDs() {
+		if !inj.DeadAt(id, analysisStart) {
+			live = append(live, id)
+		}
 	}
 	if cfg.Speculative {
-		res.SpeculativeWins = speculate(topo, res.NodeWorkload, durations, cfg)
+		res.SpeculativeWins = speculate(topo, live, res.NodeWorkload, durations, cfg, inj)
 	}
 	res.FirstMapEnd = -1
 	for _, id := range topo.IDs() {
@@ -419,15 +420,29 @@ func Run(cfg Config) (*Result, error) {
 		totalMatched += w
 	}
 	totalOut := float64(totalMatched) * cfg.App.OutputRatio()
+	// Reduce tasks only land on nodes alive when the shuffle opens.
+	liveAtShuffle := make([]cluster.NodeID, 0, topo.N())
+	for _, id := range topo.IDs() {
+		if !inj.DeadAt(id, res.MapEnd) {
+			liveAtShuffle = append(liveAtShuffle, id)
+		}
+	}
+	if len(liveAtShuffle) == 0 {
+		return nil, fmt.Errorf("%w: nowhere to place reduce tasks", ErrNoLiveNodes)
+	}
 	reducerNode := make([]cluster.NodeID, cfg.Reducers)
 	if cfg.OutputAwareReducers {
 		plan := sched.PlanAggregation(res.NodeWorkload, cfg.Reducers)
 		for r := range reducerNode {
-			reducerNode[r] = plan.Aggregators[r%len(plan.Aggregators)]
+			nid := plan.Aggregators[r%len(plan.Aggregators)]
+			if inj.DeadAt(nid, res.MapEnd) {
+				nid = liveAtShuffle[r%len(liveAtShuffle)]
+			}
+			reducerNode[r] = nid
 		}
 	} else {
 		for r := range reducerNode {
-			reducerNode[r] = cluster.NodeID(r % topo.N())
+			reducerNode[r] = liveAtShuffle[r%len(liveAtShuffle)]
 		}
 	}
 	res.ShuffleDurations = make([]float64, cfg.Reducers)
@@ -440,7 +455,7 @@ func Run(cfg Config) (*Result, error) {
 		if remoteOut < 0 {
 			remoteOut = 0
 		}
-		xfer := remoteOut / topo.Node(nid).NetRate
+		xfer := remoteOut / inj.NetRate(nid, topo.Node(nid).NetRate)
 		res.ShuffleBytes += int64(remoteOut)
 		end := res.FirstMapEnd + xfer
 		if end < res.MapEnd {
@@ -458,7 +473,7 @@ func Run(cfg Config) (*Result, error) {
 	for r := 0; r < cfg.Reducers; r++ {
 		nid := reducerNode[r]
 		vol := totalOut / float64(cfg.Reducers)
-		end := res.ShuffleEnd + vol*cfg.ReduceCostFactor/topo.Node(nid).CPURate
+		end := res.ShuffleEnd + vol*cfg.ReduceCostFactor/inj.CPURate(nid, topo.Node(nid).CPURate)
 		if end > reduceEnd {
 			reduceEnd = end
 		}
@@ -485,9 +500,17 @@ func Run(cfg Config) (*Result, error) {
 // Durations are mutated in place; the number of helped stragglers is
 // returned. This stays a *reactive* mitigation: it discovers the skew only
 // at runtime and pays network re-reads, whereas DataNet prevents the skew.
-func speculate(topo *cluster.Topology, workload map[cluster.NodeID]int64, durations map[cluster.NodeID]float64, cfg Config) int {
+//
+// ids restricts speculation to live nodes. Degenerate topologies are
+// handled explicitly: fewer than two candidates means no distinct helper
+// exists, an all-zero duration profile has no stragglers (median 0), and a
+// helper with non-positive effective rates would make backup attempts
+// meaningless (division by zero), so all three return zero wins untouched.
+func speculate(topo *cluster.Topology, ids []cluster.NodeID, workload map[cluster.NodeID]int64, durations map[cluster.NodeID]float64, cfg Config, inj *faults.Injector) int {
 	const speculationFactor = 1.5
-	ids := topo.IDs()
+	if len(ids) < 2 {
+		return 0
+	}
 	sorted := make([]float64, 0, len(ids))
 	for _, id := range ids {
 		sorted = append(sorted, durations[id])
@@ -524,9 +547,14 @@ func speculate(topo *cluster.Topology, workload map[cluster.NodeID]int64, durati
 		return stragglers[i].id < stragglers[j].id
 	})
 	h := topo.Node(helper)
+	helperNet := inj.NetRate(helper, h.NetRate)
+	helperCPU := inj.CPURate(helper, h.CPURate)
+	if helperNet <= 0 || helperCPU <= 0 {
+		return 0
+	}
 	for _, s := range stragglers {
 		w := float64(workload[s.id])
-		remote := w/h.NetRate + w*cfg.App.CostFactor()/h.CPURate
+		remote := w/helperNet + w*cfg.App.CostFactor()/helperCPU
 		start := helperFree + cfg.TaskOverhead
 		if s.dur+remote <= 0 {
 			continue

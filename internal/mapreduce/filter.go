@@ -1,0 +1,569 @@
+package mapreduce
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"datanet/internal/cluster"
+	"datanet/internal/faults"
+	"datanet/internal/hdfs"
+	"datanet/internal/sched"
+)
+
+// This file is the filter phase's discrete-event simulator, including the
+// failure-aware execution paths: node crashes void in-flight attempts and
+// destroy locally stored filter outputs (both are re-queued and retried on
+// surviving replica holders with capped, exponentially backed-off attempts
+// in simulated time), transient read errors burn an attempt, and the HDFS
+// name-node repairs replication after every crash so long jobs recover
+// locality. With no fault plan the loop reduces to the original pull-model
+// simulation.
+
+// Typed failure errors.
+var (
+	// ErrDataLost reports that every replica of a needed block was
+	// destroyed by node crashes before its filter output was secured.
+	ErrDataLost = errors.New("mapreduce: block data unrecoverable")
+	// ErrRetriesExhausted reports a task that exceeded its attempt cap.
+	ErrRetriesExhausted = errors.New("mapreduce: task attempts exhausted")
+	// ErrNoLiveNodes reports that the cluster died before the job finished.
+	ErrNoLiveNodes = errors.New("mapreduce: no live nodes remain")
+)
+
+// BlockFailure is the typed error a job returns when one block can no
+// longer be processed; errors.Is matches its Cause (ErrDataLost or
+// ErrRetriesExhausted).
+type BlockFailure struct {
+	Block    hdfs.BlockID
+	Attempts int
+	Cause    error
+}
+
+// Error implements error.
+func (e *BlockFailure) Error() string {
+	return fmt.Sprintf("%v (block %d after %d attempts)", e.Cause, e.Block, e.Attempts)
+}
+
+// Unwrap makes errors.Is(err, ErrDataLost) work.
+func (e *BlockFailure) Unwrap() error { return e.Cause }
+
+// slotEvent is one execution slot becoming free, or — when run is set —
+// one task attempt reaching its completion time.
+type slotEvent struct {
+	at   float64
+	node cluster.NodeID
+	slot int
+	// gen guards against stale events: a crash resets the slot and bumps
+	// its generation, orphaning whatever was still queued for it.
+	gen int
+	// run, when non-nil, is the attempt finishing at this event.
+	run *runAttempt
+}
+
+type slotHeap []slotEvent
+
+func (h slotHeap) Len() int { return len(h) }
+func (h slotHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].node != h[j].node {
+		return h[i].node < h[j].node
+	}
+	return h[i].slot < h[j].slot
+}
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slotEvent)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// runAttempt is one execution attempt of one filter task.
+type runAttempt struct {
+	li         int // index into filterSim.tasks
+	task       sched.Task
+	start, end float64
+	scan       float64
+	compute    float64
+	matched    int64
+	local      bool
+	attempt    int
+	failed     bool // transient read error: the attempt burns its slot time and retries
+	voided     bool // killed by a crash before completion
+}
+
+type slotKey struct {
+	node cluster.NodeID
+	slot int
+}
+
+// retryItem is a task awaiting re-execution after a failure.
+type retryItem struct {
+	readyAt float64
+	li      int
+}
+
+// filterSim runs the filter phase.
+type filterSim struct {
+	cfg    Config
+	topo   *cluster.Topology
+	inj    *faults.Injector
+	retry  faults.RetryPolicy
+	tasks  []sched.Task
+	truth  []int64 // per block position (task.Index)
+	picker sched.Picker
+	res    *Result
+
+	h         slotHeap
+	gens      map[slotKey]int
+	running   map[slotKey]*runAttempt
+	byNode    map[cluster.NodeID][]*runAttempt // live committed outputs per node
+	byIndex   map[int]int                      // task.Index -> li
+	byBlock   map[hdfs.BlockID]int             // block -> li
+	attempts  []int
+	done      []bool
+	doneCount int
+	trackStat []int // li -> position of its live stat in res.Tasks, -1 when none
+	retries   []retryItem
+	crashes   []faults.Crash
+	crashIdx  int
+	// layoutDirty flips after the first crash: replica locations must then
+	// be re-read from the name-node instead of the job's snapshot.
+	layoutDirty bool
+	nodeTasks   map[cluster.NodeID]int
+}
+
+func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retry faults.RetryPolicy, tasks []sched.Task, truth []int64, picker sched.Picker, res *Result) *filterSim {
+	s := &filterSim{
+		cfg:       cfg,
+		topo:      topo,
+		inj:       inj,
+		retry:     retry,
+		tasks:     tasks,
+		truth:     truth,
+		picker:    picker,
+		res:       res,
+		gens:      make(map[slotKey]int),
+		running:   make(map[slotKey]*runAttempt),
+		byNode:    make(map[cluster.NodeID][]*runAttempt),
+		byIndex:   make(map[int]int, len(tasks)),
+		byBlock:   make(map[hdfs.BlockID]int, len(tasks)),
+		attempts:  make([]int, len(tasks)),
+		done:      make([]bool, len(tasks)),
+		trackStat: make([]int, len(tasks)),
+		crashes:   inj.Crashes(),
+		nodeTasks: make(map[cluster.NodeID]int, topo.N()),
+	}
+	for li, t := range tasks {
+		s.byIndex[t.Index] = li
+		s.byBlock[t.Block] = li
+		s.trackStat[li] = -1
+	}
+	return s
+}
+
+// run executes the event loop until every filter task has a surviving
+// output or the job fails with a typed error.
+func (s *filterSim) run() error {
+	for _, id := range s.topo.IDs() {
+		for slot := 0; slot < s.topo.Node(id).Slots; slot++ {
+			heap.Push(&s.h, slotEvent{at: 0, node: id, slot: slot})
+		}
+	}
+	// A declined request (no task while work remains) models Hadoop's
+	// heartbeat protocol: the slot asks again after a heartbeat interval
+	// (delay scheduling relies on this). A bounded retry count guards
+	// against a picker that never serves.
+	heartbeat := s.cfg.TaskOverhead
+	idleRetries := 0
+	const maxIdleRetries = 1 << 20
+	for s.h.Len() > 0 {
+		ev := heap.Pop(&s.h).(slotEvent)
+		// Crashes strike the moment simulated time reaches them — but once
+		// the last output is committed the filter barrier has passed, and
+		// later crashes belong to the analysis phase.
+		if s.doneCount < len(s.tasks) {
+			if err := s.applyCrashes(ev.at); err != nil {
+				return err
+			}
+		}
+		key := slotKey{ev.node, ev.slot}
+		if ev.gen != s.gens[key] {
+			continue // the slot was reset by a crash; this event is stale
+		}
+		now := ev.at
+		if r := ev.run; r != nil {
+			delete(s.running, key)
+			if r.voided {
+				continue
+			}
+			if r.failed {
+				s.res.TransientErrors++
+				s.res.NodeBusy[ev.node] += r.end - r.start
+				if err := s.requeue(r.li, now); err != nil {
+					return err
+				}
+			} else {
+				s.commit(ev.node, r)
+			}
+		}
+		if s.inj.DeadAt(ev.node, now) {
+			if rj, ok := s.inj.RejoinAfter(ev.node, now); ok {
+				heap.Push(&s.h, slotEvent{at: rj, node: ev.node, slot: ev.slot, gen: ev.gen})
+			}
+			continue // permanently dead: the slot retires
+		}
+		if s.doneCount == len(s.tasks) {
+			continue // filter phase complete: the slot retires
+		}
+		if t, li, ok := s.acquire(ev.node, now); ok {
+			idleRetries = 0
+			s.dispatch(ev, t, li, now)
+			continue
+		}
+		if idleRetries >= maxIdleRetries {
+			continue
+		}
+		idleRetries++
+		next := now + heartbeat
+		if s.picker.Remaining() == 0 {
+			// Nothing to pull; sleep until the next retry matures, an
+			// in-flight attempt resolves, or the next crash frees work.
+			w, ok := s.nextWake()
+			if !ok {
+				continue // nothing can ever create work for this slot
+			}
+			if w > next {
+				next = w
+			}
+		}
+		heap.Push(&s.h, slotEvent{at: next, node: ev.node, slot: ev.slot, gen: ev.gen})
+	}
+	if s.doneCount < len(s.tasks) {
+		return fmt.Errorf("%w: %d filter tasks unfinished", ErrNoLiveNodes, len(s.tasks)-s.doneCount)
+	}
+	return nil
+}
+
+// nextWake returns the earliest future instant at which new work can
+// appear for an idle slot.
+func (s *filterSim) nextWake() (float64, bool) {
+	t, ok := 0.0, false
+	upd := func(x float64) {
+		if !ok || x < t {
+			t, ok = x, true
+		}
+	}
+	for _, it := range s.retries {
+		upd(it.readyAt)
+	}
+	for _, r := range s.running {
+		upd(r.end)
+	}
+	if s.crashIdx < len(s.crashes) {
+		upd(s.crashes[s.crashIdx].At)
+	}
+	return t, ok
+}
+
+// locations returns the block's current replica holders, consulting the
+// name-node once re-replication has changed the layout.
+func (s *filterSim) locations(li int) []cluster.NodeID {
+	if s.layoutDirty {
+		return s.cfg.FS.Locations(s.tasks[li].Block)
+	}
+	return s.tasks[li].Locations
+}
+
+// acquire finds the node's next task: a matured retry with a local
+// replica first (failed work returns to surviving replica holders), then
+// the scheduler's own plan, then any matured retry as a remote read.
+func (s *filterSim) acquire(node cluster.NodeID, now float64) (sched.Task, int, bool) {
+	if li, ok := s.takeRetry(node, now, true); ok {
+		return s.tasks[li], li, true
+	}
+	if t, ok := s.picker.Next(node); ok {
+		return t, s.byIndex[t.Index], true
+	}
+	if li, ok := s.takeRetry(node, now, false); ok {
+		return s.tasks[li], li, true
+	}
+	return sched.Task{}, 0, false
+}
+
+// takeRetry removes and returns the first matured retry (optionally only
+// one with a replica on the requesting node). The queue is kept sorted by
+// (readyAt, li), so the choice is deterministic.
+func (s *filterSim) takeRetry(node cluster.NodeID, now float64, localOnly bool) (int, bool) {
+	for i, it := range s.retries {
+		if it.readyAt > now {
+			break // sorted: nothing later is ready either
+		}
+		if localOnly {
+			local := false
+			for _, n := range s.locations(it.li) {
+				if n == node {
+					local = true
+					break
+				}
+			}
+			if !local {
+				continue
+			}
+		}
+		s.retries = append(s.retries[:i], s.retries[i+1:]...)
+		return it.li, true
+	}
+	return 0, false
+}
+
+// requeue schedules a failed task for re-execution with exponential
+// backoff, enforcing the attempt cap and detecting unrecoverable blocks.
+func (s *filterSim) requeue(li int, now float64) error {
+	if s.layoutDirty && len(s.cfg.FS.Locations(s.tasks[li].Block)) == 0 {
+		return &BlockFailure{Block: s.tasks[li].Block, Attempts: s.attempts[li], Cause: ErrDataLost}
+	}
+	if s.attempts[li] >= s.retry.MaxAttempts {
+		return &BlockFailure{Block: s.tasks[li].Block, Attempts: s.attempts[li], Cause: ErrRetriesExhausted}
+	}
+	s.res.TasksRetried++
+	it := retryItem{readyAt: now + s.retry.Delay(s.attempts[li]), li: li}
+	s.retries = append(s.retries, it)
+	sort.Slice(s.retries, func(a, b int) bool {
+		if s.retries[a].readyAt != s.retries[b].readyAt {
+			return s.retries[a].readyAt < s.retries[b].readyAt
+		}
+		return s.retries[a].li < s.retries[b].li
+	})
+	return nil
+}
+
+// dispatch starts one attempt on the node's slot.
+func (s *filterSim) dispatch(ev slotEvent, t sched.Task, li int, now float64) {
+	node := s.topo.Node(ev.node)
+	s.attempts[li]++
+	attempt := s.attempts[li]
+	if s.layoutDirty {
+		t.Locations = s.cfg.FS.Locations(t.Block)
+	}
+	local := isLocalTask(t, ev.node)
+	matched := s.truth[t.Index]
+	scan := float64(t.Bytes) / s.inj.DiskRate(ev.node, node.DiskRate)
+	if !local {
+		// Remote read: full NIC rate within the rack; cross-rack links
+		// are oversubscribed by CrossRackPenalty (classic two-tier
+		// datacenter fabric). The read is rack-local when any replica
+		// shares the requester's rack.
+		rate := s.inj.NetRate(ev.node, node.NetRate)
+		if !sameRackAsAnyReplica(s.topo, t, ev.node) {
+			rate /= s.cfg.CrossRackPenalty
+		}
+		scan += float64(t.Bytes) / rate
+	}
+	failed := s.inj.ReadFails(int(t.Block), int(ev.node), attempt)
+	compute := 0.0
+	if !failed {
+		compute = float64(matched) * s.cfg.FilterCostFactor / s.inj.CPURate(ev.node, node.CPURate)
+	}
+	run := &runAttempt{
+		li: li, task: t, start: now, end: now + s.cfg.TaskOverhead + scan + compute,
+		scan: scan, compute: compute, matched: matched, local: local,
+		attempt: attempt, failed: failed,
+	}
+	key := slotKey{ev.node, ev.slot}
+	s.running[key] = run
+	heap.Push(&s.h, slotEvent{at: run.end, node: ev.node, slot: ev.slot, gen: ev.gen, run: run})
+}
+
+// commit records a successful attempt: the filter output now lives on the
+// executing node.
+func (s *filterSim) commit(id cluster.NodeID, r *runAttempt) {
+	s.res.Tasks = append(s.res.Tasks, TaskStat{
+		Task: r.task, Node: id, Start: r.start, End: r.end,
+		Scan: r.scan, Compute: r.compute, Matched: r.matched, Local: r.local,
+		Attempt: r.attempt,
+	})
+	s.trackStat[r.li] = len(s.res.Tasks) - 1
+	s.res.NodeBusy[id] += r.end - r.start
+	s.res.NodeWorkload[id] += r.matched
+	s.nodeTasks[id]++
+	if r.local {
+		s.res.LocalTasks++
+	} else {
+		s.res.RemoteTasks++
+	}
+	if r.end > s.res.FilterEnd {
+		s.res.FilterEnd = r.end
+	}
+	s.done[r.li] = true
+	s.doneCount++
+	s.byNode[id] = append(s.byNode[id], r)
+}
+
+// applyCrashes processes every crash event up to simulated time upto,
+// grouping simultaneous crashes so that blocks losing all replicas at
+// once are correctly detected as unrecoverable.
+func (s *filterSim) applyCrashes(upto float64) error {
+	for s.crashIdx < len(s.crashes) && s.crashes[s.crashIdx].At <= upto {
+		t0 := s.crashes[s.crashIdx].At
+		var group []cluster.NodeID
+		for s.crashIdx < len(s.crashes) && s.crashes[s.crashIdx].At == t0 {
+			group = append(group, s.crashes[s.crashIdx].Node)
+			s.crashIdx++
+		}
+		if err := s.applyCrashGroup(t0, group); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyCrashGroup kills the group's nodes at time t0: the name-node
+// repairs replication from surviving copies, in-flight attempts are
+// voided, and completed filter outputs stored on the victims are
+// re-queued (their local sub-dataset fragments are gone).
+func (s *filterSim) applyCrashGroup(t0 float64, group []cluster.NodeID) error {
+	s.layoutDirty = true
+	var dead []cluster.NodeID
+	for _, id := range s.topo.IDs() {
+		if s.inj.DeadAt(id, t0) {
+			dead = append(dead, id)
+		}
+	}
+	moved, lost := s.cfg.FS.FailNodes(dead)
+	s.res.ReplicasRepaired += moved
+	sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+	for _, d := range group {
+		s.res.NodeCrashes++
+		for slot := 0; slot < s.topo.Node(d).Slots; slot++ {
+			key := slotKey{d, slot}
+			r := s.running[key]
+			if r == nil {
+				continue
+			}
+			r.voided = true
+			delete(s.running, key)
+			s.gens[key]++
+			if rj, ok := s.inj.RejoinAfter(d, t0); ok {
+				heap.Push(&s.h, slotEvent{at: rj, node: d, slot: slot, gen: s.gens[key]})
+			}
+			if err := s.requeue(r.li, t0); err != nil {
+				return err
+			}
+		}
+		for _, r := range s.byNode[d] {
+			s.res.Tasks[s.trackStat[r.li]].Lost = true
+			s.trackStat[r.li] = -1
+			s.res.NodeWorkload[d] -= r.matched
+			s.nodeTasks[d]--
+			s.done[r.li] = false
+			s.doneCount--
+			s.res.LostOutputs++
+			if err := s.requeue(r.li, t0); err != nil {
+				return err
+			}
+		}
+		s.byNode[d] = nil
+	}
+	// Blocks that lost every replica in this group are gone for good; the
+	// job fails (typed) unless their filter output already survives on a
+	// live node. Blocks skipped by the meta-data are not needed at all.
+	for _, b := range lost {
+		if li, ok := s.byBlock[b]; ok && !s.done[li] {
+			return &BlockFailure{Block: b, Attempts: s.attempts[li], Cause: ErrDataLost}
+		}
+	}
+	return nil
+}
+
+// recoverAnalysis handles crashes that strike after the filter barrier:
+// the victim's locally stored filtered fragments are destroyed
+// mid-analysis, so a surviving node re-reads the source blocks (remote
+// scan), re-filters them, and re-runs their analysis serially after its
+// own work. durations is mutated in place; analysisStart anchors the
+// phase's timeline.
+func (s *filterSim) recoverAnalysis(analysisStart float64, durations map[cluster.NodeID]float64) error {
+	for s.crashIdx < len(s.crashes) {
+		c := s.crashes[s.crashIdx]
+		s.crashIdx++
+		d := c.Node
+		s.layoutDirty = true
+		var dead []cluster.NodeID
+		for _, id := range s.topo.IDs() {
+			if s.inj.DeadAt(id, c.At) {
+				dead = append(dead, id)
+			}
+		}
+		moved, lostBlocks := s.cfg.FS.FailNodes(dead)
+		s.res.ReplicasRepaired += moved
+		s.res.NodeCrashes++
+		if c.At >= analysisStart+durations[d] {
+			// The node finished its analysis (and holds no pending filter
+			// fragments); its map output is already accounted for. Reducer
+			// placement later avoids dead nodes.
+			continue
+		}
+		w := s.res.NodeWorkload[d]
+		nt := s.nodeTasks[d]
+		if w == 0 && nt == 0 {
+			continue // nothing stored here (e.g. it crashed during filter too)
+		}
+		// The fragments' source blocks must still exist somewhere.
+		for _, r := range s.byNode[d] {
+			for _, b := range lostBlocks {
+				if b == r.task.Block {
+					return &BlockFailure{Block: b, Attempts: s.attempts[r.li], Cause: ErrDataLost}
+				}
+			}
+		}
+		var blockBytes int64
+		for _, r := range s.byNode[d] {
+			blockBytes += r.task.Bytes
+		}
+		// Recovery node: the live node that frees up earliest.
+		helper := cluster.NodeID(-1)
+		for _, id := range s.topo.IDs() {
+			if s.inj.DeadAt(id, c.At) {
+				continue
+			}
+			if helper == -1 || durations[id] < durations[helper] ||
+				(durations[id] == durations[helper] && id < helper) {
+				helper = id
+			}
+		}
+		if helper == -1 {
+			return fmt.Errorf("%w: analysis workload of node %d unrecoverable", ErrNoLiveNodes, d)
+		}
+		hn := s.topo.Node(helper)
+		redo := float64(nt)*s.cfg.TaskOverhead +
+			float64(blockBytes)/s.inj.NetRate(helper, hn.NetRate) +
+			float64(w)*s.cfg.FilterCostFactor/s.inj.CPURate(helper, hn.CPURate) +
+			float64(w)*s.cfg.App.CostFactor()/s.inj.CPURate(helper, hn.CPURate)
+		start := c.At
+		if analysisStart+durations[helper] > start {
+			start = analysisStart + durations[helper]
+		}
+		durations[helper] = start + redo - analysisStart
+		if trunc := c.At - analysisStart; trunc < durations[d] {
+			if trunc < 0 {
+				trunc = 0
+			}
+			durations[d] = trunc
+		}
+		s.res.NodeWorkload[helper] += w
+		s.res.NodeWorkload[d] = 0
+		s.nodeTasks[helper] += nt
+		s.nodeTasks[d] = 0
+		s.byNode[helper] = append(s.byNode[helper], s.byNode[d]...)
+		s.byNode[d] = nil
+		s.res.TasksRetried += nt
+		s.res.LostOutputs += nt
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import "fmt"
+
+// FaultCounters aggregates the failure-handling work a set of runs did:
+// crashes applied, tasks retried, transient read errors burned, committed
+// outputs destroyed, replicas the name-node re-created, speculative backup
+// wins, and jobs that degraded to the locality baseline because their
+// scheduling meta-data was missing or corrupt. Experiments accumulate one
+// instance across their runs and render it next to their result tables.
+type FaultCounters struct {
+	Runs              int
+	NodeCrashes       int
+	TasksRetried      int
+	TransientErrors   int
+	LostOutputs       int
+	ReplicasRepaired  int
+	SpeculativeWins   int
+	MetadataFallbacks int
+}
+
+// Observe folds one run's counters in.
+func (c *FaultCounters) Observe(crashes, retried, transient, lost, repaired, specWins int, metadataFallback bool) {
+	c.Runs++
+	c.NodeCrashes += crashes
+	c.TasksRetried += retried
+	c.TransientErrors += transient
+	c.LostOutputs += lost
+	c.ReplicasRepaired += repaired
+	c.SpeculativeWins += specWins
+	if metadataFallback {
+		c.MetadataFallbacks++
+	}
+}
+
+// Any reports whether any fault handling actually happened.
+func (c *FaultCounters) Any() bool {
+	return c.NodeCrashes+c.TasksRetried+c.TransientErrors+c.LostOutputs+
+		c.ReplicasRepaired+c.SpeculativeWins+c.MetadataFallbacks > 0
+}
+
+// Table renders the counters.
+func (c *FaultCounters) Table(title string) *Table {
+	t := NewTable(title, "counter", "total")
+	add := func(name string, v int) { t.Add(name, fmt.Sprint(v)) }
+	add("runs observed", c.Runs)
+	add("node crashes", c.NodeCrashes)
+	add("tasks retried", c.TasksRetried)
+	add("transient read errors", c.TransientErrors)
+	add("filter outputs lost", c.LostOutputs)
+	add("replicas repaired", c.ReplicasRepaired)
+	add("speculation wins", c.SpeculativeWins)
+	add("metadata fallbacks", c.MetadataFallbacks)
+	return t
+}
