@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datanet"
+	"datanet/internal/gen"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// captureStdout routes the command's stdout writer into a buffer.
+func captureStdout(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	prev := stdout
+	stdout = &buf
+	t.Cleanup(func() { stdout = prev })
+	return &buf
+}
+
+func analyzeJSON(t *testing.T, data string) []byte {
+	t.Helper()
+	buf := captureStdout(t)
+	if err := runAnalyze([]string{"-data", data, "-sub", gen.MovieID(0), "-app", "topk",
+		"-sched", "datanet", "-block", "32768", "-nodes", "8", "-racks", "2", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAnalyzeJSONGolden(t *testing.T) {
+	got := analyzeJSON(t, writeDataset(t))
+	golden := filepath.Join("testdata", "analyze.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-json output drifted from %s (rerun with -update if intended)\ngot:\n%s", golden, got)
+	}
+}
+
+func TestAnalyzeJSONShape(t *testing.T) {
+	data := writeDataset(t)
+	blob := analyzeJSON(t, data)
+	var doc analyzeDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if doc.App == "" || doc.Target != gen.MovieID(0) || doc.Scheduler != "datanet" {
+		t.Fatalf("header = %q/%q/%q", doc.App, doc.Target, doc.Scheduler)
+	}
+	if doc.Result == nil || doc.Result.JobTime <= 0 {
+		t.Fatalf("result = %+v", doc.Result)
+	}
+	if doc.Metrics == nil || doc.Metrics.Counters["events.sched.decision"] == 0 {
+		t.Fatalf("metrics missing decision audit: %+v", doc.Metrics)
+	}
+	// Same dataset, same flags: the document is reproducible byte for byte.
+	if again := analyzeJSON(t, data); !bytes.Equal(blob, again) {
+		t.Error("-json output is not deterministic")
+	}
+}
+
+func TestAnalyzeTraceFiles(t *testing.T) {
+	data := writeDataset(t)
+	dir := t.TempDir()
+
+	jsonl := filepath.Join(dir, "run.jsonl")
+	var first []byte
+	for i := 0; i < 2; i++ {
+		if err := runAnalyze([]string{"-data", data, "-sub", gen.MovieID(0), "-app", "wordcount",
+			"-sched", "datanet", "-block", "32768", "-nodes", "8", "-racks", "2",
+			"-trace", jsonl}); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = blob
+			for _, line := range strings.Split(strings.TrimSpace(string(blob)), "\n") {
+				var ev datanet.TraceEvent
+				if err := json.Unmarshal([]byte(line), &ev); err != nil {
+					t.Fatalf("bad JSONL line %q: %v", line, err)
+				}
+			}
+		} else if !bytes.Equal(first, blob) {
+			t.Error("two identical runs wrote different JSONL traces")
+		}
+	}
+
+	chrome := filepath.Join(dir, "run.json")
+	if err := runAnalyze([]string{"-data", data, "-sub", gen.MovieID(0), "-app", "wordcount",
+		"-sched", "datanet", "-block", "32768", "-nodes", "8", "-racks", "2",
+		"-trace", chrome, "-trace-format", "chrome"}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &file); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	if err := runAnalyze([]string{"-data", data, "-sub", gen.MovieID(0),
+		"-trace", chrome, "-trace-format", "nope"}); err == nil {
+		t.Error("bad -trace-format accepted")
+	}
+}

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -25,6 +27,9 @@ import (
 	"datanet/internal/elasticmap"
 	"datanet/internal/records"
 )
+
+// stdout is swapped by tests to capture machine-readable output.
+var stdout io.Writer = os.Stdout
 
 func main() {
 	if len(os.Args) < 2 {
@@ -58,6 +63,7 @@ func usage() {
   query   -data FILE -sub KEY [-meta FILE]
   analyze -data FILE -sub KEY -app NAME [-sched locality|datanet|maxflow|lpt] [-skip]
           [-meta FILE] [-crash N@T[:REJOIN],...] [-slow NxF,...] [-readerr P] [-retries N]
+          [-trace OUT [-trace-format jsonl|chrome]] [-json]
   top     -data FILE [-n N] | -meta FILE [-n N]
   verify  -data FILE -meta FILE [-samples N]`)
 	os.Exit(2)
@@ -205,7 +211,13 @@ func runAnalyze(args []string) error {
 	readErr := c.fs.Float64("readerr", 0, "transient block-read failure probability per attempt")
 	retries := c.fs.Int("retries", 0, "max attempts per task under faults (0 = default 4)")
 	faultSeed := c.fs.Int64("faultseed", 1, "seed for deterministic transient errors")
+	traceOut := c.fs.String("trace", "", "write the run's event timeline to this file")
+	traceFormat := c.fs.String("trace-format", "jsonl", "timeline format: jsonl | chrome (Perfetto / chrome://tracing)")
+	jsonOut := c.fs.Bool("json", false, "emit a machine-readable JSON document (result + metrics) instead of text")
 	c.fs.Parse(args)
+	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+		return fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat)
+	}
 	if *sub == "" {
 		return fmt.Errorf("-sub is required")
 	}
@@ -266,13 +278,36 @@ func runAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	var rec *datanet.Trace
+	if *traceOut != "" || *jsonOut {
+		rec = datanet.NewTrace()
+	}
 	res, err := datanet.Job{
 		FS: hfs, File: "data", Target: *sub,
 		App: app, Scheduler: schedID, Meta: meta, MetaErr: metaErr,
 		SkipEmpty: *skip, Execute: *execute,
 		Faults: plan, Retry: datanet.RetryPolicy{MaxAttempts: *retries},
+		Trace: rec,
 	}.Run()
 	if err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		if err := writeTrace(rec, *traceOut, *traceFormat); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		doc := analyzeDoc{
+			App: app.Name(), Target: *sub, Scheduler: res.SchedulerName,
+			Result: res, Metrics: rec.Snapshot(),
+		}
+		enc, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		_, err = stdout.Write(enc)
 		return err
 	}
 	fmt.Printf("%s on %q with %s scheduling\n", app.Name(), *sub, res.SchedulerName)
@@ -292,10 +327,40 @@ func runAnalyze(args []string) error {
 		loads = append(loads, w)
 	}
 	fmt.Printf("  per-node workload: %s\n", sparkline(loads))
+	if *traceOut != "" {
+		fmt.Printf("  trace: %d events written to %s (%s)\n", rec.Len(), *traceOut, *traceFormat)
+	}
 	if *execute {
 		printTopOutput(res.Output, 10)
 	}
 	return nil
+}
+
+// analyzeDoc is the -json output schema of the analyze subcommand.
+type analyzeDoc struct {
+	App       string                   `json:"app"`
+	Target    string                   `json:"target"`
+	Scheduler string                   `json:"scheduler"`
+	Result    *datanet.Result          `json:"result"`
+	Metrics   *datanet.MetricsSnapshot `json:"metrics"`
+}
+
+// writeTrace exports the recorded timeline in the requested format.
+func writeTrace(rec *datanet.Trace, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "chrome" {
+		err = rec.WriteChromeTrace(f)
+	} else {
+		err = rec.WriteJSONL(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func runTop(args []string) error {

@@ -31,8 +31,10 @@ import (
 	"datanet/internal/faults"
 	"datanet/internal/hdfs"
 	"datanet/internal/mapreduce"
+	"datanet/internal/metrics"
 	"datanet/internal/records"
 	"datanet/internal/sched"
+	"datanet/internal/trace"
 )
 
 // Record is one log record; Sub is its sub-dataset key.
@@ -80,6 +82,22 @@ type ReadErrors = faults.ReadErrors
 // RetryPolicy bounds task re-execution under faults (attempt cap and
 // exponential backoff in simulated time).
 type RetryPolicy = faults.RetryPolicy
+
+// Trace records a run's full event timeline on the simulated clock:
+// scheduler decision audits (candidates, locality, workload vs the
+// cluster-average W̄, which rule fired), task attempts, fault deliveries,
+// re-replications and phase barriers. Export with WriteJSONL,
+// WriteChromeTrace (Perfetto / chrome://tracing) or Snapshot.
+type Trace = trace.Recorder
+
+// NewTrace returns an empty recorder, ready for Job.Trace.
+func NewTrace() *Trace { return trace.New() }
+
+// TraceEvent is one recorded timeline entry.
+type TraceEvent = trace.Event
+
+// MetricsSnapshot is the counters/gauges/histograms digest of a trace.
+type MetricsSnapshot = metrics.Snapshot
 
 // Typed job-failure errors under faults.
 var (
@@ -269,6 +287,10 @@ type Job struct {
 	// corrupt ElasticMap encoding). The job then degrades to the locality
 	// baseline and sets Result.MetadataFallback instead of failing.
 	MetaErr error
+	// Trace, when non-nil, records the run's event timeline and scheduler
+	// decision audit (see NewTrace). Nil runs record nothing and are
+	// bit-identical to untraced runs.
+	Trace *Trace
 }
 
 // Run executes the job on the simulated engine.
@@ -290,6 +312,7 @@ func (j Job) Run() (*Result, error) {
 		Faults:     j.Faults,
 		Retry:      j.Retry,
 		WeightsErr: j.MetaErr,
+		Trace:      j.Trace,
 	})
 }
 

@@ -169,6 +169,20 @@ func WriteHTMLReport(path string) error {
 			ft.FallbackSched, ft.FallbackOK)
 	section("Fault tolerance — crash recovery sweep", ftBody)
 
+	// Per-run timeline (observability extension): one traced run with a
+	// mid-filter crash, rendered as a Gantt chart plus its metrics digest.
+	tl, err := Timeline(MovieParams{})
+	if err != nil {
+		return err
+	}
+	tlBody := fmt.Sprintf(
+		"<p>One DataNet-scheduled TopKSearch run, traced: node 3 crashes at %.2f s (red line) and rejoins at %.2f s (green dashed). Spans show filter attempts per node; failed attempts and the recovery tail are visible directly. Export the same timeline with <code>datanet analyze -trace out.json -trace-format chrome</code> and load it in Perfetto for the interactive view.</p>",
+		tl.CrashAt, tl.RejoinAt) + tl.Rec.TimelineSVG()
+	for _, t := range tl.Snapshot.Tables("Run metrics") {
+		tlBody += t.HTMLTable()
+	}
+	section("Per-run timeline — traced execution", tlBody)
+
 	sb.WriteString(`</body></html>`)
 	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"datanet/internal/apps"
+	"datanet/internal/faults"
+	"datanet/internal/mapreduce"
+	"datanet/internal/metrics"
+	"datanet/internal/sched"
+	"datanet/internal/trace"
+)
+
+// Timeline records one fully traced run for the report's per-run timeline
+// section: a DataNet-scheduled TopKSearch job with a mid-filter crash (and
+// later rejoin), so the rendered Gantt chart shows scheduler decisions,
+// re-replication, retries on surviving replica holders and the recovery
+// tail — the per-run view the aggregate figures cannot give.
+
+// TimelineResult bundles the traced run's artifacts.
+type TimelineResult struct {
+	Rec      *trace.Recorder
+	Res      *mapreduce.Result
+	Snapshot *metrics.Snapshot
+	// CrashAt / RejoinAt echo the injected fault times (simulated s).
+	CrashAt, RejoinAt float64
+}
+
+// Timeline runs the traced job. Zero-value params take DefaultFaultParams
+// (the small fault-tolerance environment).
+func Timeline(p MovieParams) (*TimelineResult, error) {
+	if p.Nodes <= 0 {
+		p = DefaultFaultParams()
+	}
+	env, err := NewMovieEnv(p)
+	if err != nil {
+		return nil, err
+	}
+	weights := env.EstimatedWeights(env.Target)
+	base := mapreduce.Config{
+		FS:        env.FS,
+		File:      env.File,
+		TargetSub: env.Target,
+		App:       apps.NewTopKSearch(10, "plot twist ending"),
+		Picker:    sched.NewDataNetPicker,
+		Weights:   weights,
+	}
+	// Scale the crash to the run: a fault-free pass fixes the filter
+	// makespan, then the traced run kills one node at 40% of it (rejoining
+	// at 160%, mid-analysis). The fault-free pass does not mutate the
+	// filesystem, so both runs see the same layout.
+	dry, err := mapreduce.Run(base)
+	if err != nil {
+		return nil, err
+	}
+	crashAt := 0.4 * dry.FilterEnd
+	rejoinAt := 1.6 * dry.FilterEnd
+	rec := trace.New()
+	cfg := base
+	cfg.Trace = rec
+	cfg.Faults = &faults.Plan{
+		Seed:    p.Seed,
+		Crashes: []faults.Crash{{Node: 3, At: crashAt, RejoinAt: rejoinAt}},
+	}
+	res, err := mapreduce.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TimelineResult{
+		Rec: rec, Res: res, Snapshot: rec.Snapshot(),
+		CrashAt: crashAt, RejoinAt: rejoinAt,
+	}, nil
+}

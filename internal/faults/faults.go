@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"datanet/internal/cluster"
+	"datanet/internal/trace"
 )
 
 // ErrBadPlan reports an invalid fault plan.
@@ -102,6 +103,32 @@ func (p *Plan) Validate(n int) error {
 		return fmt.Errorf("%w: read-error probability %v not in [0,1)", ErrBadPlan, p.Read.Prob)
 	}
 	return nil
+}
+
+// TraceEvents renders the plan's static configuration as t=0 timeline
+// events: one faults.plan instant summarizing the schedule, plus one
+// node.slowdown instant per degraded node (crashes are recorded when they
+// are *delivered*, by the engine, so the timeline shows effect times).
+// A nil or empty plan yields nil.
+func (p *Plan) TraceEvents() []trace.Event {
+	if p == nil {
+		return nil
+	}
+	var out []trace.Event
+	if len(p.Crashes) > 0 || len(p.Slow) > 0 || p.Read.Prob > 0 {
+		ev := trace.At(0, trace.EvFaultPlan)
+		ev.Count = len(p.Crashes)
+		ev.Detail = fmt.Sprintf("crashes=%d slow=%d read-error-prob=%g seed=%d",
+			len(p.Crashes), len(p.Slow), p.Read.Prob, p.Seed)
+		out = append(out, ev)
+	}
+	for _, s := range p.Slow {
+		ev := trace.At(0, trace.EvNodeSlowdown)
+		ev.Node = int(s.Node)
+		ev.Detail = fmt.Sprintf("cpu=%g disk=%g net=%g", s.CPU, s.Disk, s.Net)
+		out = append(out, ev)
+	}
+	return out
 }
 
 // RetryPolicy bounds task re-execution after crashes and read errors.

@@ -18,6 +18,7 @@ import (
 
 	"datanet/internal/cluster"
 	"datanet/internal/records"
+	"datanet/internal/trace"
 )
 
 // BlockID identifies a block (dense, filesystem-wide).
@@ -87,6 +88,10 @@ type FileSystem struct {
 	rng    *rand.Rand
 	blocks []*Block
 	files  map[string]*FileInfo
+	// rec, when non-nil, receives maintenance events (re-replication,
+	// lost blocks) stamped with recNow on the simulated clock.
+	rec    *trace.Recorder
+	recNow float64
 }
 
 // Errors returned by the filesystem API.
@@ -116,6 +121,19 @@ func NewFileSystem(topo *cluster.Topology, cfg Config) (*FileSystem, error) {
 
 // Config returns the effective configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// SetTrace attaches a recorder for name-node maintenance events (nil
+// detaches) and returns the previous one, so a caller that threads its
+// own recorder for the duration of a job can restore the prior state.
+func (fs *FileSystem) SetTrace(r *trace.Recorder) *trace.Recorder {
+	prev := fs.rec
+	fs.rec = r
+	return prev
+}
+
+// SetTraceTime moves the simulated clock maintenance events are stamped
+// with. The filesystem has no clock of its own — the engine drives it.
+func (fs *FileSystem) SetTraceTime(t float64) { fs.recNow = t }
 
 // Topology returns the underlying cluster.
 func (fs *FileSystem) Topology() *cluster.Topology { return fs.topo }

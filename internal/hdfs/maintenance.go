@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"datanet/internal/cluster"
+	"datanet/internal/trace"
 )
 
 // This file models the name-node maintenance operations a long-lived
@@ -52,6 +53,13 @@ func (fs *FileSystem) DecommissionNode(id cluster.NodeID) (int, error) {
 		usage[target] += b.Bytes
 		usage[id] -= b.Bytes
 		moved++
+	}
+	if fs.rec.Enabled() && moved > 0 {
+		ev := trace.At(fs.recNow, trace.EvRereplicate)
+		ev.Node = int(id)
+		ev.Count = moved
+		ev.Detail = "decommission"
+		fs.rec.Record(ev)
 	}
 	return moved, nil
 }
@@ -134,6 +142,19 @@ func (fs *FileSystem) FailNodes(dead []cluster.NodeID) (moved int, lost []BlockI
 		}
 	}
 	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	if fs.rec.Enabled() {
+		if moved > 0 {
+			ev := trace.At(fs.recNow, trace.EvRereplicate)
+			ev.Count = moved
+			ev.Detail = "crash-repair"
+			fs.rec.Record(ev)
+		}
+		for _, id := range lost {
+			ev := trace.At(fs.recNow, trace.EvBlockLost)
+			ev.Block = int(id)
+			fs.rec.Record(ev)
+		}
+	}
 	return moved, lost
 }
 
@@ -215,6 +236,12 @@ func (fs *FileSystem) Rebalance(slack float64) int {
 			usage[target] += b.Bytes
 			moved++
 		}
+	}
+	if fs.rec.Enabled() && moved > 0 {
+		ev := trace.At(fs.recNow, trace.EvRereplicate)
+		ev.Count = moved
+		ev.Detail = "balancer"
+		fs.rec.Record(ev)
 	}
 	return moved
 }

@@ -37,6 +37,7 @@ import (
 	"datanet/internal/hdfs"
 	"datanet/internal/records"
 	"datanet/internal/sched"
+	"datanet/internal/trace"
 )
 
 // Config describes one job.
@@ -105,6 +106,13 @@ type Config struct {
 	// Retry bounds task re-execution under faults; zero fields take the
 	// Hadoop-like defaults (4 attempts, 0.5 s base backoff, doubling).
 	Retry faults.RetryPolicy
+	// Trace, when non-nil, records the run's full event timeline on the
+	// simulated clock: every scheduler decision with its audit payload
+	// (candidates, locality, workload vs W̄, rule), task attempts, fault
+	// deliveries, re-replications and phase barriers. Nil (the default)
+	// records nothing and costs nothing — results are bit-identical to an
+	// untraced run.
+	Trace *trace.Recorder
 	// WeightsErr records that the caller tried and failed to obtain
 	// ElasticMap weights (e.g. elasticmap.ErrCodec on a corrupt encoding).
 	// The engine then degrades gracefully: the job runs under the locality
@@ -244,6 +252,18 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.CrossRackPenalty < 1 {
 		cfg.CrossRackPenalty = 2
 	}
+	rec := cfg.Trace
+	if rec.Enabled() {
+		// The name-node reports maintenance (re-replication, lost blocks)
+		// into the same timeline while this job runs; restore whatever
+		// recorder was attached before, even on error paths.
+		prev := cfg.FS.SetTrace(rec)
+		cfg.FS.SetTraceTime(0)
+		defer cfg.FS.SetTrace(prev)
+		for _, ev := range cfg.Faults.TraceEvents() {
+			rec.Record(ev)
+		}
+	}
 
 	// Ground-truth matched bytes per block.
 	truth := make([]int64, len(blocks))
@@ -277,6 +297,11 @@ func Run(cfg Config) (*Result, error) {
 		factory = sched.NewFallbackLocality(fallbackReason)
 		cfg.Weights = nil     // untrusted estimates must not leak into tasks
 		cfg.SkipEmpty = false // nor may they drop blocks
+		if rec.Enabled() {
+			ev := trace.At(0, trace.EvMetaFallback)
+			ev.Detail = fallbackReason
+			rec.Record(ev)
+		}
 	}
 
 	// Scheduling weights: ElasticMap estimates when provided, else truth.
@@ -323,6 +348,11 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	nodeTasks := sim.nodeTasks
+	if rec.Enabled() {
+		ev := trace.At(res.FilterEnd, trace.EvPhase)
+		ev.Detail = "filter-end"
+		rec.Record(ev)
+	}
 
 	// The real application output is exactly-once per task regardless of
 	// how many attempts its block needed: the collector replays the task
@@ -354,6 +384,13 @@ func Run(cfg Config) (*Result, error) {
 			if t > res.MigrationTime {
 				res.MigrationTime = t
 			}
+		}
+		if rec.Enabled() {
+			ev := trace.At(res.FilterEnd, trace.EvPhase)
+			ev.Dur = res.MigrationTime
+			ev.Bytes = res.MigratedBytes
+			ev.Detail = "rebalance-migration"
+			rec.Record(ev)
 		}
 		analysisStart += res.MigrationTime
 	}
@@ -389,7 +426,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if cfg.Speculative {
-		res.SpeculativeWins = speculate(topo, live, res.NodeWorkload, durations, cfg, inj)
+		res.SpeculativeWins = speculate(topo, live, res.NodeWorkload, durations, cfg, inj, rec, analysisStart)
 	}
 	res.FirstMapEnd = -1
 	for _, id := range topo.IDs() {
@@ -403,9 +440,18 @@ func Run(cfg Config) (*Result, error) {
 		if res.FirstMapEnd < 0 || end < res.FirstMapEnd {
 			res.FirstMapEnd = end
 		}
+		if rec.Enabled() && dur > 0 {
+			rec.Record(trace.Event{T: analysisStart, Type: trace.EvAnalysisSpan,
+				Node: int(id), Block: -1, Dur: dur})
+		}
 	}
 	if res.FirstMapEnd < 0 {
 		res.FirstMapEnd = analysisStart
+	}
+	if rec.Enabled() {
+		ev := trace.At(res.MapEnd, trace.EvPhase)
+		ev.Detail = "map-end"
+		rec.Record(ev)
 	}
 
 	// Phase 3: shuffle (§V-A.3: opens at the first analysis-map
@@ -465,8 +511,18 @@ func Run(cfg Config) (*Result, error) {
 		if end > shuffleEnd {
 			shuffleEnd = end
 		}
+		if rec.Enabled() {
+			rec.Record(trace.Event{T: res.FirstMapEnd, Type: trace.EvShuffleSpan,
+				Node: int(nid), Block: -1, Attempt: r,
+				Dur: end - res.FirstMapEnd, Bytes: int64(remoteOut)})
+		}
 	}
 	res.ShuffleEnd = shuffleEnd
+	if rec.Enabled() {
+		ev := trace.At(res.ShuffleEnd, trace.EvPhase)
+		ev.Detail = "shuffle-end"
+		rec.Record(ev)
+	}
 
 	// Phase 4: reduce.
 	reduceEnd := res.ShuffleEnd
@@ -477,10 +533,19 @@ func Run(cfg Config) (*Result, error) {
 		if end > reduceEnd {
 			reduceEnd = end
 		}
+		if rec.Enabled() {
+			rec.Record(trace.Event{T: res.ShuffleEnd, Type: trace.EvReduceSpan,
+				Node: int(nid), Block: -1, Attempt: r, Dur: end - res.ShuffleEnd})
+		}
 	}
 	res.ReduceEnd = reduceEnd
 	res.JobTime = reduceEnd
 	res.AnalysisTime = reduceEnd - res.FilterEnd
+	if rec.Enabled() {
+		ev := trace.At(res.ReduceEnd, trace.EvPhase)
+		ev.Detail = "reduce-end"
+		rec.Record(ev)
+	}
 
 	if cfg.ExecuteApp {
 		res.Output = collector.reduce(cfg.App)
@@ -506,7 +571,9 @@ func Run(cfg Config) (*Result, error) {
 // exists, an all-zero duration profile has no stragglers (median 0), and a
 // helper with non-positive effective rates would make backup attempts
 // meaningless (division by zero), so all three return zero wins untouched.
-func speculate(topo *cluster.Topology, ids []cluster.NodeID, workload map[cluster.NodeID]int64, durations map[cluster.NodeID]float64, cfg Config, inj *faults.Injector) int {
+// rec, when enabled, receives one task.speculate event per win, anchored
+// at analysisStart on the straggler's track.
+func speculate(topo *cluster.Topology, ids []cluster.NodeID, workload map[cluster.NodeID]int64, durations map[cluster.NodeID]float64, cfg Config, inj *faults.Injector, rec *trace.Recorder, analysisStart float64) int {
 	const speculationFactor = 1.5
 	if len(ids) < 2 {
 		return 0
@@ -567,6 +634,12 @@ func speculate(topo *cluster.Topology, ids []cluster.NodeID, workload map[cluste
 		durations[s.id] = finish
 		helperFree = finish
 		wins++
+		if rec.Enabled() {
+			ev := trace.At(analysisStart+finish, trace.EvSpeculate)
+			ev.Node = int(s.id)
+			ev.Detail = fmt.Sprintf("backup on node %d", helper)
+			rec.Record(ev)
+		}
 	}
 	return wins
 }

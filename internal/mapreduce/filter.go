@@ -10,6 +10,7 @@ import (
 	"datanet/internal/faults"
 	"datanet/internal/hdfs"
 	"datanet/internal/sched"
+	"datanet/internal/trace"
 )
 
 // This file is the filter phase's discrete-event simulator, including the
@@ -137,6 +138,17 @@ type filterSim struct {
 	// be re-read from the name-node instead of the job's snapshot.
 	layoutDirty bool
 	nodeTasks   map[cluster.NodeID]int
+
+	// Tracing state (all nil/zero when tracing is off — the fast path).
+	// rec receives timeline events; lastRule carries the acquire path's
+	// decision rule to dispatch; assigned tracks the scheduling weight
+	// handed to each node so every decision can be audited against the
+	// cluster-average target W̄ (wbar), exactly the quantity Algorithm 1
+	// balances.
+	rec      *trace.Recorder
+	lastRule string
+	assigned map[cluster.NodeID]int64
+	wbar     float64
 }
 
 func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retry faults.RetryPolicy, tasks []sched.Task, truth []int64, picker sched.Picker, res *Result) *filterSim {
@@ -164,6 +176,17 @@ func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retr
 		s.byIndex[t.Index] = li
 		s.byBlock[t.Block] = li
 		s.trackStat[li] = -1
+	}
+	if cfg.Trace.Enabled() {
+		s.rec = cfg.Trace
+		s.assigned = make(map[cluster.NodeID]int64, topo.N())
+		var total int64
+		for _, t := range tasks {
+			total += t.Weight
+		}
+		if n := topo.N(); n > 0 {
+			s.wbar = float64(total) / float64(n)
+		}
 	}
 	return s
 }
@@ -206,7 +229,15 @@ func (s *filterSim) run() error {
 			if r.failed {
 				s.res.TransientErrors++
 				s.res.NodeBusy[ev.node] += r.end - r.start
-				if err := s.requeue(r.li, now); err != nil {
+				if s.rec.Enabled() {
+					fe := trace.Event{T: r.start, Type: trace.EvTaskFail,
+						Node: int(ev.node), Block: int(r.task.Block),
+						Attempt: r.attempt, Dur: r.end - r.start, Local: r.local,
+						Detail: "read-error"}
+					s.rec.Record(fe)
+					s.assigned[ev.node] -= r.task.Weight
+				}
+				if err := s.requeue(r.li, now, "read-error"); err != nil {
 					return err
 				}
 			} else {
@@ -286,12 +317,20 @@ func (s *filterSim) locations(li int) []cluster.NodeID {
 // the scheduler's own plan, then any matured retry as a remote read.
 func (s *filterSim) acquire(node cluster.NodeID, now float64) (sched.Task, int, bool) {
 	if li, ok := s.takeRetry(node, now, true); ok {
+		s.lastRule = "retry.local-replica"
 		return s.tasks[li], li, true
 	}
 	if t, ok := s.picker.Next(node); ok {
+		if s.rec.Enabled() {
+			s.lastRule = ""
+			if ex, ok := sched.Explain(s.picker); ok {
+				s.lastRule = ex.Rule
+			}
+		}
 		return t, s.byIndex[t.Index], true
 	}
 	if li, ok := s.takeRetry(node, now, false); ok {
+		s.lastRule = "retry.remote"
 		return s.tasks[li], li, true
 	}
 	return sched.Task{}, 0, false
@@ -325,7 +364,9 @@ func (s *filterSim) takeRetry(node cluster.NodeID, now float64, localOnly bool) 
 
 // requeue schedules a failed task for re-execution with exponential
 // backoff, enforcing the attempt cap and detecting unrecoverable blocks.
-func (s *filterSim) requeue(li int, now float64) error {
+// reason qualifies the retry event ("read-error", "crash-voided",
+// "output-lost").
+func (s *filterSim) requeue(li int, now float64, reason string) error {
 	if s.layoutDirty && len(s.cfg.FS.Locations(s.tasks[li].Block)) == 0 {
 		return &BlockFailure{Block: s.tasks[li].Block, Attempts: s.attempts[li], Cause: ErrDataLost}
 	}
@@ -333,6 +374,13 @@ func (s *filterSim) requeue(li int, now float64) error {
 		return &BlockFailure{Block: s.tasks[li].Block, Attempts: s.attempts[li], Cause: ErrRetriesExhausted}
 	}
 	s.res.TasksRetried++
+	if s.rec.Enabled() {
+		ev := trace.At(now, trace.EvTaskRetry)
+		ev.Block = int(s.tasks[li].Block)
+		ev.Attempt = s.attempts[li]
+		ev.Detail = reason
+		s.rec.Record(ev)
+	}
 	it := retryItem{readyAt: now + s.retry.Delay(s.attempts[li]), li: li}
 	s.retries = append(s.retries, it)
 	sort.Slice(s.retries, func(a, b int) bool {
@@ -376,6 +424,23 @@ func (s *filterSim) dispatch(ev slotEvent, t sched.Task, li int, now float64) {
 		scan: scan, compute: compute, matched: matched, local: local,
 		attempt: attempt, failed: failed,
 	}
+	if s.rec.Enabled() {
+		cand := make([]int, len(t.Locations))
+		for i, n := range t.Locations {
+			cand[i] = int(n)
+		}
+		dec := trace.Event{T: now, Type: trace.EvDecision,
+			Node: int(ev.node), Block: int(t.Block), Attempt: attempt, Local: local,
+			Decision: &trace.Decision{
+				Rule: s.lastRule, Candidates: cand, Local: local,
+				Weight: t.Weight, Workload: s.assigned[ev.node], WBar: s.wbar,
+			}}
+		s.rec.Record(dec)
+		st := trace.Event{T: now, Type: trace.EvTaskStart,
+			Node: int(ev.node), Block: int(t.Block), Attempt: attempt, Local: local}
+		s.rec.Record(st)
+		s.assigned[ev.node] += t.Weight
+	}
 	key := slotKey{ev.node, ev.slot}
 	s.running[key] = run
 	heap.Push(&s.h, slotEvent{at: run.end, node: ev.node, slot: ev.slot, gen: ev.gen, run: run})
@@ -404,6 +469,11 @@ func (s *filterSim) commit(id cluster.NodeID, r *runAttempt) {
 	s.done[r.li] = true
 	s.doneCount++
 	s.byNode[id] = append(s.byNode[id], r)
+	if s.rec.Enabled() {
+		s.rec.Record(trace.Event{T: r.start, Type: trace.EvTaskFinish,
+			Node: int(id), Block: int(r.task.Block), Attempt: r.attempt,
+			Dur: r.end - r.start, Bytes: r.matched, Local: r.local})
+	}
 }
 
 // applyCrashes processes every crash event up to simulated time upto,
@@ -430,6 +500,20 @@ func (s *filterSim) applyCrashes(upto float64) error {
 // re-queued (their local sub-dataset fragments are gone).
 func (s *filterSim) applyCrashGroup(t0 float64, group []cluster.NodeID) error {
 	s.layoutDirty = true
+	sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+	if s.rec.Enabled() {
+		s.cfg.FS.SetTraceTime(t0)
+		for _, d := range group {
+			ev := trace.At(t0, trace.EvNodeCrash)
+			ev.Node = int(d)
+			s.rec.Record(ev)
+			if rj, ok := s.inj.RejoinAfter(d, t0); ok {
+				rje := trace.At(rj, trace.EvNodeRejoin)
+				rje.Node = int(d)
+				s.rec.Record(rje)
+			}
+		}
+	}
 	var dead []cluster.NodeID
 	for _, id := range s.topo.IDs() {
 		if s.inj.DeadAt(id, t0) {
@@ -438,7 +522,6 @@ func (s *filterSim) applyCrashGroup(t0 float64, group []cluster.NodeID) error {
 	}
 	moved, lost := s.cfg.FS.FailNodes(dead)
 	s.res.ReplicasRepaired += moved
-	sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
 	for _, d := range group {
 		s.res.NodeCrashes++
 		for slot := 0; slot < s.topo.Node(d).Slots; slot++ {
@@ -453,7 +536,13 @@ func (s *filterSim) applyCrashGroup(t0 float64, group []cluster.NodeID) error {
 			if rj, ok := s.inj.RejoinAfter(d, t0); ok {
 				heap.Push(&s.h, slotEvent{at: rj, node: d, slot: slot, gen: s.gens[key]})
 			}
-			if err := s.requeue(r.li, t0); err != nil {
+			if s.rec.Enabled() {
+				ve := trace.Event{T: t0, Type: trace.EvTaskVoided,
+					Node: int(d), Block: int(r.task.Block), Attempt: r.attempt}
+				s.rec.Record(ve)
+				s.assigned[d] -= r.task.Weight
+			}
+			if err := s.requeue(r.li, t0, "crash-voided"); err != nil {
 				return err
 			}
 		}
@@ -465,7 +554,14 @@ func (s *filterSim) applyCrashGroup(t0 float64, group []cluster.NodeID) error {
 			s.done[r.li] = false
 			s.doneCount--
 			s.res.LostOutputs++
-			if err := s.requeue(r.li, t0); err != nil {
+			if s.rec.Enabled() {
+				le := trace.Event{T: t0, Type: trace.EvOutputLost,
+					Node: int(d), Block: int(r.task.Block), Attempt: r.attempt,
+					Bytes: r.matched}
+				s.rec.Record(le)
+				s.assigned[d] -= r.task.Weight
+			}
+			if err := s.requeue(r.li, t0, "output-lost"); err != nil {
 				return err
 			}
 		}
@@ -494,6 +590,13 @@ func (s *filterSim) recoverAnalysis(analysisStart float64, durations map[cluster
 		s.crashIdx++
 		d := c.Node
 		s.layoutDirty = true
+		if s.rec.Enabled() {
+			s.cfg.FS.SetTraceTime(c.At)
+			ev := trace.At(c.At, trace.EvNodeCrash)
+			ev.Node = int(d)
+			ev.Detail = "analysis-phase"
+			s.rec.Record(ev)
+		}
 		var dead []cluster.NodeID
 		for _, id := range s.topo.IDs() {
 			if s.inj.DeadAt(id, c.At) {
@@ -555,6 +658,23 @@ func (s *filterSim) recoverAnalysis(analysisStart float64, durations map[cluster
 				trunc = 0
 			}
 			durations[d] = trunc
+		}
+		if s.rec.Enabled() {
+			for _, r := range s.byNode[d] {
+				le := trace.Event{T: c.At, Type: trace.EvOutputLost,
+					Node: int(d), Block: int(r.task.Block), Attempt: r.attempt,
+					Bytes: r.matched}
+				s.rec.Record(le)
+				re := trace.At(c.At, trace.EvTaskRetry)
+				re.Block = int(r.task.Block)
+				re.Attempt = r.attempt
+				re.Detail = "analysis-recover"
+				s.rec.Record(re)
+			}
+			rc := trace.Event{T: start, Type: trace.EvAnalysisRecover,
+				Node: int(helper), Dur: redo, Bytes: w, Count: nt,
+				Detail: fmt.Sprintf("redo node %d share", d), Block: -1}
+			s.rec.Record(rc)
 		}
 		s.res.NodeWorkload[helper] += w
 		s.res.NodeWorkload[d] = 0

@@ -33,6 +33,19 @@ func (c *FaultCounters) Observe(crashes, retried, transient, lost, repaired, spe
 	}
 }
 
+// Merge folds another set of counters in (sweeps accumulate per-run
+// snapshots this way).
+func (c *FaultCounters) Merge(o FaultCounters) {
+	c.Runs += o.Runs
+	c.NodeCrashes += o.NodeCrashes
+	c.TasksRetried += o.TasksRetried
+	c.TransientErrors += o.TransientErrors
+	c.LostOutputs += o.LostOutputs
+	c.ReplicasRepaired += o.ReplicasRepaired
+	c.SpeculativeWins += o.SpeculativeWins
+	c.MetadataFallbacks += o.MetadataFallbacks
+}
+
 // Any reports whether any fault handling actually happened.
 func (c *FaultCounters) Any() bool {
 	return c.NodeCrashes+c.TasksRetried+c.TransientErrors+c.LostOutputs+

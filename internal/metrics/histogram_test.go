@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 ||
+		h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", h.Summary())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{4, 1, 3, 2} { // out of order on purpose
+		h.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3.0, 2}, {2.0 / 3.0, 3},
+		{-1, 1}, {2, 4}, // clamped
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if h.Mean() != 2.5 || h.Sum() != 10 || h.Min() != 1 || h.Max() != 4 {
+		t.Fatalf("stats: %+v", h.Summary())
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(math.NaN())
+	h.Observe(2)
+	if h.Count() != 1 || h.Mean() != 2 {
+		t.Fatalf("NaN not dropped: count=%d mean=%v", h.Count(), h.Mean())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(1)
+	a.Observe(2)
+	b.Observe(3)
+	b.Observe(4)
+	a.Merge(b)
+	if a.Count() != 4 || a.Sum() != 10 || a.Max() != 4 {
+		t.Fatalf("merged: %+v", a.Summary())
+	}
+	if b.Count() != 2 {
+		t.Fatalf("merge mutated other: %+v", b.Summary())
+	}
+	a.Merge(nil) // no-op
+	a.Merge(NewHistogram())
+	if a.Count() != 4 {
+		t.Fatalf("nil/empty merge changed count: %d", a.Count())
+	}
+}
+
+func TestHistogramMarshalJSONIsSummary(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)
+	h.Observe(3)
+	blob, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s HistogramSummary
+	if err := json.Unmarshal(blob, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 2 || s.Mean != 2 || s.P50 != 2 || s.Max != 3 {
+		t.Fatalf("summary round-trip: %+v", s)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewSnapshot(), NewSnapshot()
+	a.Inc("x", 1)
+	a.SetGauge("g", 1)
+	a.Histogram("h").Observe(1)
+	a.Faults.Runs = 1
+	b.Inc("x", 2)
+	b.Inc("y", 5)
+	b.SetGauge("g", 9)
+	b.Histogram("h").Observe(3)
+	b.Faults.Runs = 2
+	b.Faults.NodeCrashes = 4
+	a.Merge(b)
+	if a.Counters["x"] != 3 || a.Counters["y"] != 5 {
+		t.Fatalf("counters: %v", a.Counters)
+	}
+	if a.Gauges["g"] != 9 {
+		t.Fatalf("gauge not last-wins: %v", a.Gauges["g"])
+	}
+	if a.Histogram("h").Count() != 2 {
+		t.Fatalf("histograms not merged: %d", a.Histogram("h").Count())
+	}
+	if a.Faults.Runs != 3 || a.Faults.NodeCrashes != 4 {
+		t.Fatalf("faults: %+v", a.Faults)
+	}
+	a.Merge(nil) // no-op
+}
+
+func TestSnapshotTables(t *testing.T) {
+	s := NewSnapshot()
+	s.Inc("b-counter", 2)
+	s.Inc("a-counter", 1)
+	s.SetGauge("ratio", 0.5)
+	s.Histogram("dur").Observe(1.5)
+	tables := s.Tables("run")
+	if len(tables) != 2 {
+		t.Fatalf("%d tables, want 2", len(tables))
+	}
+	text := tables[0].String() + tables[1].String()
+	for _, want := range []string{"a-counter", "b-counter", "ratio", "dur", "1.5"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("tables missing %q in:\n%s", want, text)
+		}
+	}
+	// Sorted keys: a-counter before b-counter.
+	if strings.Index(text, "a-counter") > strings.Index(text, "b-counter") {
+		t.Fatal("counter keys not sorted")
+	}
+	// No histograms → single table.
+	if got := len(NewSnapshot().Tables("x")); got != 1 {
+		t.Fatalf("empty snapshot renders %d tables", got)
+	}
+}
+
+func TestFaultCountersMergeAndTable(t *testing.T) {
+	a := FaultCounters{Runs: 1, NodeCrashes: 2, TasksRetried: 3}
+	a.Merge(FaultCounters{Runs: 1, NodeCrashes: 1, SpeculativeWins: 7, MetadataFallbacks: 1})
+	if a.Runs != 2 || a.NodeCrashes != 3 || a.TasksRetried != 3 ||
+		a.SpeculativeWins != 7 || a.MetadataFallbacks != 1 {
+		t.Fatalf("merged: %+v", a)
+	}
+	text := a.Table("faults").String()
+	for _, want := range []string{"runs observed", "node crashes", "3", "speculation wins", "7"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("table missing %q in:\n%s", want, text)
+		}
+	}
+	if !a.Any() {
+		t.Fatal("Any() = false after crashes")
+	}
+	if (&FaultCounters{Runs: 5}).Any() {
+		t.Fatal("Any() = true with only runs")
+	}
+}

@@ -1,0 +1,67 @@
+package sched
+
+// Decision auditing. Every picker remembers which of its rules produced
+// the task it last handed out, so the engine can record a per-assignment
+// audit trail (internal/trace): for Algorithm 1 that means distinguishing
+// the argmin placement on a local replica, the line-12 off-replica assist,
+// and execution-time work stealing — the difference between "the plan was
+// balanced" and "stealing rescued an unbalanced plan" is invisible in
+// aggregate results but obvious in the audit.
+
+// Explanation describes why a picker's most recent Next call returned the
+// task it did.
+type Explanation struct {
+	// Rule names the decision path, namespaced by policy:
+	// "algo1.argmin-local", "algo1.line12-assist", "algo1.no-local-replica",
+	// "algo1.steal-local", "algo1.steal-global", "locality.local-fifo",
+	// "locality.remote-fifo", "delay.remote-after-wait", "lpt.local",
+	// "lpt.remote", "random.local", "random.remote", "maxflow.plan",
+	// "maxflow.steal".
+	Rule string
+}
+
+// Explainer is optionally implemented by pickers that can explain their
+// most recent successful Next call. The value is only meaningful
+// immediately after Next returned ok=true.
+type Explainer interface {
+	Explain() Explanation
+}
+
+// Explain returns the picker's explanation of its last assignment when it
+// supports auditing.
+func Explain(p Picker) (Explanation, bool) {
+	e, ok := p.(Explainer)
+	if !ok {
+		return Explanation{}, false
+	}
+	return e.Explain(), true
+}
+
+// Explain implements Explainer.
+func (p *LocalityPicker) Explain() Explanation { return Explanation{Rule: p.lastRule} }
+
+// Explain implements Explainer.
+func (p *DelayedLocalityPicker) Explain() Explanation { return Explanation{Rule: p.lastRule} }
+
+// Explain implements Explainer.
+func (p *DataNetPicker) Explain() Explanation { return Explanation{Rule: p.lastRule} }
+
+// Explain implements Explainer.
+func (p *LPTPicker) Explain() Explanation { return Explanation{Rule: p.lastRule} }
+
+// Explain implements Explainer.
+func (p *RandomPicker) Explain() Explanation { return Explanation{Rule: p.lastRule} }
+
+// Explain implements Explainer.
+func (p *StaticPicker) Explain() Explanation { return Explanation{Rule: p.lastRule} }
+
+// Explain implements Explainer by delegating to the wrapped baseline,
+// tagging the rule so the audit shows the job ran degraded.
+func (p *fallbackPicker) Explain() Explanation {
+	if e, ok := p.Picker.(Explainer); ok {
+		ex := e.Explain()
+		ex.Rule = "fallback." + ex.Rule
+		return ex
+	}
+	return Explanation{Rule: "fallback"}
+}

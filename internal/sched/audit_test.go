@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"datanet/internal/cluster"
+	"datanet/internal/hdfs"
+)
+
+// auditTasks builds two tasks both replicated on node 0 only, so node 0
+// serves local and node 1 is forced remote.
+func auditTasks() []Task {
+	return []Task{
+		{Block: hdfs.BlockID(0), Index: 0, Weight: 100, Bytes: 1 << 18,
+			Locations: []cluster.NodeID{0}},
+		{Block: hdfs.BlockID(1), Index: 1, Weight: 50, Bytes: 1 << 18,
+			Locations: []cluster.NodeID{0}},
+	}
+}
+
+func TestExplainLocalityPicker(t *testing.T) {
+	topo := cluster.MustHomogeneous(2, 1)
+	p := NewLocalityPicker(auditTasks(), topo)
+	if _, ok := p.Next(0); !ok {
+		t.Fatal("no task for node 0")
+	}
+	ex, ok := Explain(p)
+	if !ok || ex.Rule != "locality.local-fifo" {
+		t.Fatalf("local pull: ok=%v rule=%q", ok, ex.Rule)
+	}
+	if _, ok := p.Next(1); !ok {
+		t.Fatal("no task for node 1")
+	}
+	if ex, _ := Explain(p); ex.Rule != "locality.remote-fifo" {
+		t.Fatalf("remote pull rule = %q", ex.Rule)
+	}
+}
+
+func TestExplainDataNetPicker(t *testing.T) {
+	topo := cluster.MustHomogeneous(2, 1)
+	p := NewDataNetPicker(auditTasks(), topo)
+	// Node 0 holds all replicas; the planner puts its work there (or
+	// line-12-assists one task away) and node 1 can only steal.
+	if _, ok := p.Next(0); !ok {
+		t.Fatal("no task for node 0")
+	}
+	ex, ok := Explain(p)
+	if !ok || !strings.HasPrefix(ex.Rule, "algo1.") {
+		t.Fatalf("planned pull: ok=%v rule=%q", ok, ex.Rule)
+	}
+	if _, ok := p.Next(1); !ok {
+		t.Fatal("no task for node 1")
+	}
+	if ex, _ := Explain(p); ex.Rule != "algo1.steal-global" &&
+		ex.Rule != "algo1.steal-local" && !strings.HasPrefix(ex.Rule, "algo1.") {
+		t.Fatalf("steal rule = %q", ex.Rule)
+	}
+}
+
+func TestExplainDataNetStealRules(t *testing.T) {
+	topo := cluster.MustHomogeneous(2, 1)
+	p := NewDataNetPicker(auditTasks(), topo)
+	// Drain node 0's queue through node 1 first: every pull from node 1 is
+	// a steal, and node 1 holds no replicas, so the rule is steal-global.
+	if _, ok := p.Next(1); !ok {
+		t.Fatal("steal failed")
+	}
+	if ex, _ := Explain(p); ex.Rule != "algo1.steal-global" {
+		t.Fatalf("off-replica steal rule = %q", ex.Rule)
+	}
+}
+
+func TestExplainFallbackPrefixesRule(t *testing.T) {
+	topo := cluster.MustHomogeneous(2, 1)
+	p := NewFallbackLocality("meta corrupt")(auditTasks(), topo)
+	if _, ok := p.Next(0); !ok {
+		t.Fatal("no task")
+	}
+	ex, ok := Explain(p)
+	if !ok || ex.Rule != "fallback.locality.local-fifo" {
+		t.Fatalf("fallback rule = %q (ok=%v)", ex.Rule, ok)
+	}
+}
+
+// barePicker implements Picker without Explainer.
+type barePicker struct{}
+
+func (barePicker) Name() string                     { return "bare" }
+func (barePicker) Next(cluster.NodeID) (Task, bool) { return Task{}, false }
+func (barePicker) Remaining() int                   { return 0 }
+
+func TestExplainNonExplainer(t *testing.T) {
+	if ex, ok := Explain(barePicker{}); ok || ex.Rule != "" {
+		t.Fatalf("non-explainer: ok=%v rule=%q", ok, ex.Rule)
+	}
+}
+
+func TestExplainLPTAndRandomPickers(t *testing.T) {
+	topo := cluster.MustHomogeneous(2, 1)
+	for _, tc := range []struct {
+		factory Factory
+		prefix  string
+	}{
+		{NewLPTPicker, "lpt."},
+		{NewRandomPicker(7), "random."},
+	} {
+		p := tc.factory(auditTasks(), topo)
+		if _, ok := p.Next(0); !ok {
+			t.Fatalf("%s: no task", tc.prefix)
+		}
+		ex, ok := Explain(p)
+		if !ok || !strings.HasPrefix(ex.Rule, tc.prefix) {
+			t.Fatalf("%s picker rule = %q (ok=%v)", tc.prefix, ex.Rule, ok)
+		}
+	}
+}

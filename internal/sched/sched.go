@@ -74,11 +74,12 @@ func isLocal(t Task, node cluster.NodeID) bool {
 // local work left. Sub-dataset weights are ignored entirely — this is the
 // paper's "without DataNet" configuration.
 type LocalityPicker struct {
-	tasks   []Task
-	taken   []bool
-	byNode  map[cluster.NodeID][]int
-	remain  int
-	nextRem int
+	tasks    []Task
+	taken    []bool
+	byNode   map[cluster.NodeID][]int
+	remain   int
+	nextRem  int
+	lastRule string
 }
 
 // NewLocalityPicker constructs the baseline picker.
@@ -115,6 +116,7 @@ func (p *LocalityPicker) Next(node cluster.NodeID) (Task, bool) {
 		queue = queue[1:]
 		if !p.taken[i] {
 			p.byNode[node] = queue
+			p.lastRule = "locality.local-fifo"
 			return p.take(i), true
 		}
 	}
@@ -124,6 +126,7 @@ func (p *LocalityPicker) Next(node cluster.NodeID) (Task, bool) {
 		p.nextRem++
 	}
 	if p.nextRem < len(p.tasks) {
+		p.lastRule = "locality.remote-fifo"
 		return p.take(p.nextRem), true
 	}
 	return Task{}, false
@@ -142,9 +145,10 @@ func (p *LocalityPicker) take(i int) Task {
 // idle slots — the real Hadoop trade-off — and serves as a stronger
 // baseline ablation.
 type DelayedLocalityPicker struct {
-	inner   *LocalityPicker
-	delay   int
-	waiting map[cluster.NodeID]int
+	inner    *LocalityPicker
+	delay    int
+	waiting  map[cluster.NodeID]int
+	lastRule string
 }
 
 // NewDelayedLocalityPicker returns a Factory with the given maximum
@@ -181,6 +185,7 @@ func (p *DelayedLocalityPicker) Next(node cluster.NodeID) (Task, bool) {
 		if !p.inner.taken[i] {
 			p.inner.byNode[node] = queue
 			p.waiting[node] = 0
+			p.lastRule = "delay.local-fifo"
 			return p.inner.take(i), true
 		}
 	}
@@ -190,6 +195,7 @@ func (p *DelayedLocalityPicker) Next(node cluster.NodeID) (Task, bool) {
 		return Task{}, false // decline; the slot will ask again
 	}
 	p.waiting[node] = 0
+	p.lastRule = "delay.remote-after-wait"
 	return p.inner.Next(node) // give up waiting: remote FIFO
 }
 
@@ -224,6 +230,10 @@ type DataNetPicker struct {
 	workload map[cluster.NodeID]int64
 	remain   int
 	name     string
+	// ruleByIndex records which planning rule placed each task (by
+	// task.Index), so Explain can report it when the queue is served.
+	ruleByIndex map[int]string
+	lastRule    string
 }
 
 // assistFactor controls off-replica assignment: a task may go remote when
@@ -279,6 +289,7 @@ func newDataNet(tasks []Task, topo *cluster.Topology, capacityAware bool) Picker
 	count := make([]int, m)
 	rawLoad := make([]int64, m)
 	queues := make(map[cluster.NodeID][]Task, m)
+	rules := make(map[int]string, len(tasks))
 
 	better := func(a, b int) bool { // is node a a better placement than b?
 		if b == -1 {
@@ -308,8 +319,10 @@ func newDataNet(tasks []Task, topo *cluster.Topology, capacityAware bool) Picker
 			}
 		}
 		pick := bestLocal
+		rule := "algo1.argmin-local"
 		if bestLocal == -1 {
 			pick = gmin
+			rule = "algo1.no-local-replica"
 		} else if t.Weight > 0 {
 			// Off-replica assist (line-12 fallback): only when every local
 			// holder is far ahead of the least-loaded node. Loads are in
@@ -318,8 +331,10 @@ func newDataNet(tasks []Task, topo *cluster.Topology, capacityAware bool) Picker
 			wNorm := float64(t.Weight) / (share[gmin] * float64(m))
 			if load[bestLocal]-load[gmin] > assistFactor*wNorm {
 				pick = gmin
+				rule = "algo1.line12-assist"
 			}
 		}
+		rules[t.Index] = rule
 		load[pick] += float64(t.Weight) / (share[pick] * float64(m))
 		count[pick]++
 		rawLoad[pick] += t.Weight
@@ -328,10 +343,11 @@ func newDataNet(tasks []Task, topo *cluster.Topology, capacityAware bool) Picker
 	}
 
 	p := &DataNetPicker{
-		queues:   queues,
-		workload: make(map[cluster.NodeID]int64, m),
-		remain:   len(tasks),
-		name:     name,
+		queues:      queues,
+		workload:    make(map[cluster.NodeID]int64, m),
+		remain:      len(tasks),
+		name:        name,
+		ruleByIndex: rules,
 	}
 	for i, w := range rawLoad {
 		p.workload[cluster.NodeID(i)] = w
@@ -360,6 +376,7 @@ func (p *DataNetPicker) Next(node cluster.NodeID) (Task, bool) {
 		t := q[0]
 		p.queues[node] = q[1:]
 		p.remain--
+		p.lastRule = p.ruleByIndex[t.Index]
 		return t, true
 	}
 	// Steal. Queues are sorted heaviest-first, so each queue's candidate
@@ -396,8 +413,10 @@ func (p *DataNetPicker) Next(node cluster.NodeID) (Task, bool) {
 		return victim, idx
 	}
 	victim, idx := pick(true)
+	p.lastRule = "algo1.steal-local"
 	if idx == -1 {
 		victim, idx = pick(false)
+		p.lastRule = "algo1.steal-global"
 	}
 	if idx == -1 {
 		return Task{}, false
@@ -427,11 +446,12 @@ func (p *DataNetPicker) Workloads() map[cluster.NodeID]int64 {
 // its heaviest unprocessed local block (else the heaviest remaining).
 // Classic makespan heuristic; an ablation contrast for Algorithm 1.
 type LPTPicker struct {
-	tasks  []Task
-	taken  []bool
-	byNode map[cluster.NodeID][]int
-	order  []int // all tasks, heaviest first
-	remain int
+	tasks    []Task
+	taken    []bool
+	byNode   map[cluster.NodeID][]int
+	order    []int // all tasks, heaviest first
+	remain   int
+	lastRule string
 }
 
 // NewLPTPicker constructs the LPT picker.
@@ -476,11 +496,13 @@ func (p *LPTPicker) Next(node cluster.NodeID) (Task, bool) {
 	}
 	for _, i := range p.byNode[node] {
 		if !p.taken[i] {
+			p.lastRule = "lpt.local"
 			return p.take(i), true
 		}
 	}
 	for _, i := range p.order {
 		if !p.taken[i] {
+			p.lastRule = "lpt.remote"
 			return p.take(i), true
 		}
 	}
@@ -497,11 +519,12 @@ func (p *LPTPicker) take(i int) Task {
 // random remaining task). It isolates how much of the imbalance is due to
 // FIFO order versus locality itself.
 type RandomPicker struct {
-	tasks  []Task
-	taken  []bool
-	byNode map[cluster.NodeID][]int
-	rng    *rand.Rand
-	remain int
+	tasks    []Task
+	taken    []bool
+	byNode   map[cluster.NodeID][]int
+	rng      *rand.Rand
+	remain   int
+	lastRule string
 }
 
 // NewRandomPicker returns a Factory seeded for reproducibility.
@@ -540,12 +563,14 @@ func (p *RandomPicker) Next(node cluster.NodeID) (Task, bool) {
 			cand = append(cand, i)
 		}
 	}
+	p.lastRule = "random.local"
 	if len(cand) == 0 {
 		for i := range p.tasks {
 			if !p.taken[i] {
 				cand = append(cand, i)
 			}
 		}
+		p.lastRule = "random.remote"
 	}
 	if len(cand) == 0 {
 		return Task{}, false
@@ -562,9 +587,10 @@ func (p *RandomPicker) Next(node cluster.NodeID) (Task, bool) {
 // StaticPicker serves a precomputed node→tasks assignment; requests from a
 // node drain its own queue first, then steal from the most-loaded queue.
 type StaticPicker struct {
-	name   string
-	queues map[cluster.NodeID][]Task
-	remain int
+	name     string
+	queues   map[cluster.NodeID][]Task
+	remain   int
+	lastRule string
 }
 
 // NewFlowPicker computes the max-flow balanced assignment (paper §IV-B,
@@ -605,6 +631,7 @@ func (p *StaticPicker) Next(node cluster.NodeID) (Task, bool) {
 		t := q[0]
 		p.queues[node] = q[1:]
 		p.remain--
+		p.lastRule = "maxflow.plan"
 		return t, true
 	}
 	// Work stealing from the largest remaining queue keeps the simulation
@@ -625,5 +652,6 @@ func (p *StaticPicker) Next(node cluster.NodeID) (Task, bool) {
 	t := q[len(q)-1]
 	p.queues[victim] = q[:len(q)-1]
 	p.remain--
+	p.lastRule = "maxflow.steal"
 	return t, true
 }

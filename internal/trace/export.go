@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Machine-readable exports. Both formats are pure functions of the event
+// list, and the event list is a pure function of (config, seed), so
+// exports are byte-identical across identical runs.
+
+// WriteJSONL writes one JSON object per event, in append (simulation)
+// order — the grep/jq-friendly format.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	for _, ev := range r.Events() {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChromeEvent is one entry of the Chrome trace-event format ("JSON Array
+// Format" with an object wrapper), the subset Perfetto and
+// chrome://tracing consume: complete spans (ph "X" with ts+dur), instants
+// (ph "i"), and metadata (ph "M") naming the tracks.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTraceFile is the wrapper object chrome://tracing loads.
+type ChromeTraceFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePid = 1 // one simulated cluster = one "process"
+
+// ChromeTrace converts the timeline: one thread (track) per node, one
+// "X" span per task attempt and per phase execution, instants for faults
+// and barriers. Cluster-wide events land on a synthetic "job" track after
+// the last node.
+func (r *Recorder) ChromeTrace() ChromeTraceFile {
+	events := r.Events()
+	maxNode := -1
+	for _, ev := range events {
+		if ev.Node > maxNode {
+			maxNode = ev.Node
+		}
+	}
+	jobTid := maxNode + 1
+
+	out := ChromeTraceFile{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "datanet simulated cluster"},
+	})
+	for tid := 0; tid <= maxNode; tid++ {
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("node-%d", tid)},
+		})
+	}
+	out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+		Name: "thread_name", Ph: "M", Pid: chromePid, Tid: jobTid,
+		Args: map[string]any{"name": "job"},
+	})
+
+	const usec = 1e6
+	for _, ev := range events {
+		tid := ev.Node
+		if tid < 0 {
+			tid = jobTid
+		}
+		ce := ChromeEvent{
+			Name: chromeName(ev),
+			Ts:   ev.T * usec,
+			Pid:  chromePid,
+			Tid:  tid,
+			Cat:  string(ev.Type),
+			Args: chromeArgs(ev),
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = ev.Dur * usec
+		} else {
+			ce.Ph = "i"
+			ce.Scope = "t"
+			if ev.Node < 0 {
+				ce.Scope = "g"
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	return out
+}
+
+// WriteChromeTrace writes the Chrome trace-event JSON.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	b, err := json.Marshal(r.ChromeTrace())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// chromeName compresses an event into a viewer-friendly span/instant name.
+func chromeName(ev Event) string {
+	switch ev.Type {
+	case EvTaskFinish, EvTaskStart:
+		kind := "local"
+		if !ev.Local {
+			kind = "remote"
+		}
+		return fmt.Sprintf("filter b%d a%d (%s)", ev.Block, ev.Attempt, kind)
+	case EvTaskFail:
+		return fmt.Sprintf("failed attempt b%d a%d", ev.Block, ev.Attempt)
+	case EvAnalysisSpan:
+		return "analysis"
+	case EvAnalysisRecover:
+		return "analysis recovery"
+	case EvShuffleSpan:
+		return fmt.Sprintf("shuffle r%d", ev.Attempt)
+	case EvReduceSpan:
+		return fmt.Sprintf("reduce r%d", ev.Attempt)
+	case EvPhase:
+		return "phase: " + ev.Detail
+	case EvDecision:
+		rule := ""
+		if ev.Decision != nil {
+			rule = " " + ev.Decision.Rule
+		}
+		return fmt.Sprintf("assign b%d%s", ev.Block, rule)
+	default:
+		return string(ev.Type)
+	}
+}
+
+// chromeArgs surfaces the event payload in the viewer's detail pane.
+func chromeArgs(ev Event) map[string]any {
+	args := map[string]any{"seq": ev.Seq}
+	if ev.Block >= 0 {
+		args["block"] = ev.Block
+	}
+	if ev.Attempt > 0 {
+		args["attempt"] = ev.Attempt
+	}
+	if ev.Bytes > 0 {
+		args["bytes"] = ev.Bytes
+	}
+	if ev.Count > 0 {
+		args["count"] = ev.Count
+	}
+	if ev.Detail != "" {
+		args["detail"] = ev.Detail
+	}
+	if d := ev.Decision; d != nil {
+		args["rule"] = d.Rule
+		args["local"] = d.Local
+		args["weight"] = d.Weight
+		args["workload"] = d.Workload
+		args["wbar"] = d.WBar
+		args["candidates"] = fmt.Sprint(d.Candidates)
+	}
+	return args
+}
+
+// nodesOf returns the sorted node ids that appear in the trace.
+func (r *Recorder) nodesOf() []int {
+	seen := map[int]bool{}
+	for _, ev := range r.Events() {
+		if ev.Node >= 0 {
+			seen[ev.Node] = true
+		}
+	}
+	nodes := make([]int, 0, len(seen))
+	for n := range seen {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes
+}

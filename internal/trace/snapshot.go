@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"math"
+
+	"datanet/internal/metrics"
+)
+
+// Snapshot reduces the event timeline to a metrics.Snapshot: counters for
+// every event class, gauges for the phase barriers and locality ratio,
+// histograms for task durations, per-node busy time, and the scheduler's
+// workload deviation from W̄ at decision time. The embedded FaultCounters
+// match what the engine reports in Result, derived here independently from
+// the events themselves.
+func (r *Recorder) Snapshot() *metrics.Snapshot {
+	s := metrics.NewSnapshot()
+	if r == nil {
+		return s
+	}
+	s.Faults.Runs = 1
+
+	taskDur := s.Histogram("task.duration")
+	busy := map[int]float64{}
+	decisions, localDecisions := 0, 0
+	finished, localFinished := 0, 0
+
+	for _, ev := range r.Events() {
+		s.Inc("events."+string(ev.Type), 1)
+		switch ev.Type {
+		case EvDecision:
+			decisions++
+			if ev.Decision != nil {
+				if ev.Decision.Local {
+					localDecisions++
+				}
+				if ev.Decision.WBar > 0 {
+					dev := math.Abs(float64(ev.Decision.Workload)-ev.Decision.WBar) / ev.Decision.WBar
+					s.Histogram("sched.workload-dev").Observe(dev)
+					s.SetGauge("sched.wbar", ev.Decision.WBar)
+				}
+			}
+		case EvTaskFinish:
+			finished++
+			if ev.Local {
+				localFinished++
+			}
+			taskDur.Observe(ev.Dur)
+			busy[ev.Node] += ev.Dur
+		case EvTaskFail:
+			s.Faults.TransientErrors++
+			busy[ev.Node] += ev.Dur
+		case EvTaskRetry:
+			s.Faults.TasksRetried++
+		case EvOutputLost:
+			s.Faults.LostOutputs++
+		case EvNodeCrash:
+			s.Faults.NodeCrashes++
+		case EvSpeculate:
+			s.Faults.SpeculativeWins++
+		case EvMetaFallback:
+			s.Faults.MetadataFallbacks++
+		case EvRereplicate:
+			s.Faults.ReplicasRepaired += ev.Count
+		case EvAnalysisSpan, EvAnalysisRecover, EvShuffleSpan, EvReduceSpan:
+			busy[ev.Node] += ev.Dur
+		case EvPhase:
+			switch ev.Detail {
+			case "filter-end":
+				s.SetGauge("phase.filter-end", ev.T)
+			case "map-end":
+				s.SetGauge("phase.map-end", ev.T)
+			case "shuffle-end":
+				s.SetGauge("phase.shuffle-end", ev.T)
+			case "reduce-end":
+				s.SetGauge("phase.reduce-end", ev.T)
+			}
+		}
+	}
+
+	nodeBusy := s.Histogram("node.busy")
+	for _, n := range r.nodesOf() {
+		if t, ok := busy[n]; ok {
+			nodeBusy.Observe(t)
+		}
+	}
+	if decisions > 0 {
+		s.SetGauge("sched.locality-ratio", float64(localDecisions)/float64(decisions))
+	}
+	if finished > 0 {
+		s.SetGauge("task.locality-ratio", float64(localFinished)/float64(finished))
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TimelineSVG renders the trace as a Gantt-style chart, stdlib only and
+// deterministic: one row per node, colored spans for filter attempts
+// (local/remote/failed), analysis, shuffle and reduce, with vertical
+// markers for crashes, rejoins and phase barriers. It is the HTML report's
+// per-run timeline section; Perfetto remains the interactive option.
+func (r *Recorder) TimelineSVG() string {
+	events := r.Events()
+	nodes := r.nodesOf()
+	maxT := 0.0
+	for _, ev := range events {
+		if end := ev.T + ev.Dur; end > maxT {
+			maxT = end
+		}
+	}
+	if len(nodes) == 0 || maxT <= 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="200" height="24" font-family="sans-serif" font-size="11"><text x="4" y="16">empty trace</text></svg>`
+	}
+
+	const (
+		rowH    = 16
+		rowGap  = 4
+		leftPad = 64
+		topPad  = 24
+		width   = 920
+		legendH = 40
+	)
+	plotW := float64(width - leftPad - 16)
+	height := topPad + len(nodes)*(rowH+rowGap) + 28 + legendH
+	rowOf := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		rowOf[n] = i
+	}
+	x := func(t float64) float64 { return leftPad + t/maxT*plotW }
+	y := func(node int) int { return topPad + rowOf[node]*(rowH+rowGap) }
+
+	spanColors := map[EventType]string{
+		EvTaskFinish:      "#1f6fb2", // local fill; remote overridden below
+		EvTaskFail:        "#e8a33d",
+		EvAnalysisSpan:    "#3a7d44",
+		EvAnalysisRecover: "#7bbf8a",
+		EvShuffleSpan:     "#6b5b95",
+		EvReduceSpan:      "#8a6d3b",
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="10">`, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+
+	// Node rows.
+	for _, n := range nodes {
+		fmt.Fprintf(&sb, `<text x="4" y="%d" fill="#333">node %d</text>`, y(n)+rowH-4, n)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`,
+			leftPad, y(n)+rowH, width-16, y(n)+rowH)
+	}
+
+	// Spans first, instants on top.
+	for _, ev := range events {
+		color, isSpan := spanColors[ev.Type]
+		if !isSpan || ev.Dur <= 0 || ev.Node < 0 {
+			continue
+		}
+		if ev.Type == EvTaskFinish && !ev.Local {
+			color = "#d1495b"
+		}
+		w := ev.Dur / maxT * plotW
+		if w < 0.5 {
+			w = 0.5
+		}
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s</title></rect>`,
+			x(ev.T), y(ev.Node), w, rowH, color, spanTitle(ev))
+	}
+	axisBottom := topPad + len(nodes)*(rowH+rowGap)
+	for _, ev := range events {
+		switch ev.Type {
+		case EvNodeCrash:
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#c00" stroke-width="1.5"><title>crash node %d @ %.2fs</title></line>`,
+				x(ev.T), topPad-4, x(ev.T), axisBottom, ev.Node, ev.T)
+		case EvNodeRejoin:
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#3a7d44" stroke-dasharray="3,2"><title>rejoin node %d @ %.2fs</title></line>`,
+				x(ev.T), topPad-4, x(ev.T), axisBottom, ev.Node, ev.T)
+		case EvPhase:
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999" stroke-dasharray="1,3"><title>%s @ %.2fs</title></line>`,
+				x(ev.T), topPad-4, x(ev.T), axisBottom, ev.Detail, ev.T)
+		}
+	}
+
+	// Time axis.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, leftPad, axisBottom, width-16, axisBottom)
+	for i := 0; i <= 4; i++ {
+		t := maxT * float64(i) / 4
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle" fill="#555">%.1fs</text>`,
+			x(t), axisBottom+14, t)
+	}
+
+	// Legend.
+	legend := []struct{ label, color string }{
+		{"filter (local)", "#1f6fb2"}, {"filter (remote)", "#d1495b"},
+		{"failed attempt", "#e8a33d"}, {"analysis", "#3a7d44"},
+		{"recovery", "#7bbf8a"}, {"shuffle", "#6b5b95"}, {"reduce", "#8a6d3b"},
+	}
+	lx := leftPad
+	ly := axisBottom + 26
+	for _, item := range legend {
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, lx, ly, item.color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#333">%s</text>`, lx+14, ly+9, item.label)
+		lx += 14 + 7*len(item.label)
+	}
+
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+func spanTitle(ev Event) string {
+	switch ev.Type {
+	case EvTaskFinish:
+		kind := "local"
+		if !ev.Local {
+			kind = "remote"
+		}
+		return fmt.Sprintf("filter block %d attempt %d (%s) %.2fs–%.2fs", ev.Block, ev.Attempt, kind, ev.T, ev.T+ev.Dur)
+	case EvTaskFail:
+		return fmt.Sprintf("failed attempt block %d attempt %d (%s)", ev.Block, ev.Attempt, ev.Detail)
+	case EvAnalysisRecover:
+		return fmt.Sprintf("analysis recovery (%s)", ev.Detail)
+	default:
+		return fmt.Sprintf("%s %.2fs–%.2fs", ev.Type, ev.T, ev.T+ev.Dur)
+	}
+}

@@ -1,0 +1,173 @@
+// Package trace records what a simulated run actually did, on the
+// simulated clock: every scheduler decision (with the evidence it was made
+// on — candidate replica holders, locality hit or miss, the node's
+// workload versus the cluster average W̄, and which rule of Algorithm 1
+// fired), every task attempt, every fault the injector delivered, every
+// re-replication the name-node performed, and the phase barriers between
+// filter, analysis, shuffle and reduce.
+//
+// The paper's whole argument is about *where* time and bytes go (Figs.
+// 5–8: per-node workload convergence to W̄, locality rates, straggler
+// tails); end-of-run aggregates cannot show why a particular run skewed.
+// A trace can: it exports as JSONL (one event per line), as Chrome
+// trace-event JSON loadable in Perfetto or chrome://tracing (one track
+// per node, spans per task), and as a metrics.Snapshot of
+// counters/gauges/histograms.
+//
+// Recording is opt-in and nil-safe: every method on a nil *Recorder is a
+// no-op, so the engine threads a recorder unconditionally and pays nothing
+// when tracing is off. Events are appended in simulation order, which is
+// deterministic, so identical (seed, config) runs produce byte-identical
+// exports.
+package trace
+
+// EventType names a kind of timeline event.
+type EventType string
+
+// Event types. Span events (task.finish, task.fail, analysis.span,
+// shuffle.span, reduce.span, analysis.recover) carry T = span start and
+// Dur > 0; all others are instants at T.
+const (
+	// EvDecision is the scheduler decision audit for one task assignment.
+	EvDecision EventType = "sched.decision"
+	// EvMetaFallback marks a job degrading to the locality baseline
+	// because its ElasticMap weights were missing or invalid.
+	EvMetaFallback EventType = "sched.metadata-fallback"
+	// EvTaskStart marks a filter-task attempt beginning on a node.
+	EvTaskStart EventType = "task.start"
+	// EvTaskFinish is the span of a successfully committed attempt.
+	EvTaskFinish EventType = "task.finish"
+	// EvTaskFail is the span of an attempt burned by a transient read
+	// error.
+	EvTaskFail EventType = "task.fail"
+	// EvTaskVoided marks an in-flight attempt killed by its node's crash.
+	EvTaskVoided EventType = "task.voided"
+	// EvTaskRetry marks a task being re-queued for another attempt.
+	EvTaskRetry EventType = "task.retry"
+	// EvOutputLost marks a committed filter output destroyed by a crash.
+	EvOutputLost EventType = "task.output-lost"
+	// EvSpeculate marks a straggler analysis beaten by a backup attempt.
+	EvSpeculate EventType = "task.speculate"
+	// EvNodeCrash / EvNodeRejoin / EvNodeSlowdown are fault deliveries.
+	EvNodeCrash    EventType = "node.crash"
+	EvNodeRejoin   EventType = "node.rejoin"
+	EvNodeSlowdown EventType = "node.slowdown"
+	// EvFaultPlan records the run's static fault configuration at t=0.
+	EvFaultPlan EventType = "faults.plan"
+	// EvRereplicate is a name-node repair pass (Count replicas re-created).
+	EvRereplicate EventType = "hdfs.rereplicate"
+	// EvBlockLost marks a block whose every replica is gone.
+	EvBlockLost EventType = "hdfs.block-lost"
+	// EvPhase is a phase barrier or transition of the pipeline.
+	EvPhase EventType = "phase"
+	// EvAnalysisSpan is one node's analysis-phase execution span.
+	EvAnalysisSpan EventType = "analysis.span"
+	// EvAnalysisRecover is a surviving node redoing a crashed node's
+	// analysis share (span on the helper's track).
+	EvAnalysisRecover EventType = "analysis.recover"
+	// EvShuffleSpan / EvReduceSpan are per-reducer phase spans.
+	EvShuffleSpan EventType = "shuffle.span"
+	EvReduceSpan  EventType = "reduce.span"
+)
+
+// Decision is the scheduler audit payload of an EvDecision event: the
+// evidence the assignment was made on, at decision time.
+type Decision struct {
+	// Rule names the decision path that produced the assignment (e.g.
+	// "algo1.argmin-local", "algo1.line12-assist", "locality.remote-fifo",
+	// "retry.local-replica").
+	Rule string `json:"rule"`
+	// Candidates lists the block's replica-holding nodes at decision time.
+	Candidates []int `json:"candidates"`
+	// Local reports whether the chosen node holds a replica (locality hit).
+	Local bool `json:"local"`
+	// Weight is the task's scheduling weight |b ∩ s| in bytes.
+	Weight int64 `json:"weight"`
+	// Workload is the weight already assigned to the chosen node before
+	// this decision.
+	Workload int64 `json:"workload"`
+	// WBar is the cluster-average target workload W̄ (total weight / N).
+	WBar float64 `json:"wbar"`
+}
+
+// Event is one timeline entry. Node and Block are -1 when the event is not
+// scoped to a node or block (0 is a valid id for both).
+type Event struct {
+	// Seq is the append-order sequence number (assigned by Record).
+	Seq int `json:"seq"`
+	// T is the simulated time in seconds; for span events it is the span
+	// start and Dur its length.
+	T    float64   `json:"t"`
+	Type EventType `json:"type"`
+	// Node is the node the event happened on, -1 when cluster-wide.
+	Node int `json:"node"`
+	// Block is the HDFS block involved, -1 when none.
+	Block int `json:"block"`
+	// Attempt is the 1-based task attempt (or reducer index for
+	// shuffle/reduce spans); 0 when not applicable.
+	Attempt int `json:"attempt,omitempty"`
+	// Dur is the span length in simulated seconds (0 for instants).
+	Dur float64 `json:"dur,omitempty"`
+	// Bytes is the data volume involved, when meaningful.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Count is a repair/batch cardinality (e.g. replicas re-created).
+	Count int `json:"count,omitempty"`
+	// Local marks a data-local execution.
+	Local bool `json:"local,omitempty"`
+	// Detail is a free-form qualifier ("filter-end", "read-error", …).
+	Detail string `json:"detail,omitempty"`
+	// Decision carries the scheduler audit for EvDecision events.
+	Decision *Decision `json:"decision,omitempty"`
+}
+
+// At returns an unscoped instant event, ready for Record.
+func At(t float64, typ EventType) Event {
+	return Event{T: t, Type: typ, Node: -1, Block: -1}
+}
+
+// Recorder accumulates events for one run. The zero value and nil are both
+// usable; nil records nothing (the engine's fast path).
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Enabled reports whether events are being kept. Callers use it to skip
+// building event payloads entirely on the trace-off fast path.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record appends one event, assigning its sequence number. No-op on nil.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.Seq = len(r.events)
+	r.events = append(r.events, ev)
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns the recorded events in append order. The slice is shared;
+// callers must not mutate it.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Reset drops all recorded events so the recorder can serve another run.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.events = r.events[:0]
+}
