@@ -24,6 +24,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, modelcheck, aggregation, amortization, blocksize, replication, faulttol)")
 	csvDir := flag.String("csv", "", "also write the figure series as CSV files into this directory")
 	htmlOut := flag.String("html", "", "also write a self-contained HTML report (inline SVG) to this path")
+	workers := flag.Int("parallel", 1, "worker-pool size for independent suite experiments (output is identical at any count)")
 	flag.Parse()
 
 	if *htmlOut != "" {
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	if *only == "" {
-		if err := experiments.RunSuite(os.Stdout); err != nil {
+		if err := experiments.RunSuiteParallel(os.Stdout, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "datanet-bench:", err)
 			os.Exit(1)
 		}

@@ -10,6 +10,7 @@
 //	datanet query   -data reviews.dnr -sub movie-00000 [-meta reviews.em]
 //	datanet analyze -data reviews.dnr -sub movie-00000 -app wordcount [-sched datanet]
 //	datanet top     -data reviews.dnr [-n 10]
+//	datanet suite   [-parallel N] [-json-bench BENCH_suite.json]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 
 	"datanet"
 	"datanet/internal/elasticmap"
+	"datanet/internal/experiments"
 	"datanet/internal/records"
 )
 
@@ -48,6 +50,8 @@ func main() {
 		err = runTop(args)
 	case "verify":
 		err = runVerify(args)
+	case "suite":
+		err = runSuite(args)
 	default:
 		usage()
 	}
@@ -58,14 +62,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: datanet <build|query|analyze|top> [flags]
+	fmt.Fprintln(os.Stderr, `usage: datanet <build|query|analyze|top|verify|suite> [flags]
   build   -data FILE -meta OUT [-alpha A] [-block BYTES] [-nodes N]
   query   -data FILE -sub KEY [-meta FILE]
   analyze -data FILE -sub KEY -app NAME [-sched locality|datanet|maxflow|lpt] [-skip]
           [-meta FILE] [-crash N@T[:REJOIN],...] [-slow NxF,...] [-readerr P] [-retries N]
           [-trace OUT [-trace-format jsonl|chrome]] [-json]
   top     -data FILE [-n N] | -meta FILE [-n N]
-  verify  -data FILE -meta FILE [-samples N]`)
+  verify  -data FILE -meta FILE [-samples N]
+  suite   [-parallel N] [-json-bench FILE]`)
 	os.Exit(2)
 }
 
@@ -484,6 +489,32 @@ func runVerify(args []string) error {
 		return fmt.Errorf("verification failed: χ %.1f%% — meta-data does not describe this dataset", chi*100)
 	}
 	fmt.Printf("verified: worst top-%d relative error %.2f%%\n", n, worst*100)
+	return nil
+}
+
+// runSuite executes the full paper experiment suite. -parallel fans
+// independent experiments out on a bounded worker pool (the output bytes
+// are identical regardless of the worker count); -json-bench additionally
+// writes the machine-readable benchmark report.
+func runSuite(args []string) error {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	workers := fs.Int("parallel", 1, "worker-pool size for independent experiments (1 = sequential)")
+	benchOut := fs.String("json-bench", "", "write per-experiment wall-clock and simulated makespans to this JSON file")
+	fs.Parse(args)
+	if *workers < 1 {
+		return fmt.Errorf("-parallel must be at least 1")
+	}
+	if *benchOut == "" {
+		return experiments.RunSuiteParallel(stdout, *workers)
+	}
+	rep, err := experiments.RunSuiteBench(stdout, *workers)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(*benchOut); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datanet: benchmark report written to %s\n", *benchOut)
 	return nil
 }
 

@@ -163,3 +163,9 @@ func TestRunVerify(t *testing.T) {
 		t.Error("missing -meta accepted")
 	}
 }
+
+func TestRunSuiteFlagValidation(t *testing.T) {
+	if err := runSuite([]string{"-parallel", "0"}); err == nil {
+		t.Fatal("want error for -parallel 0")
+	}
+}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"bytes"
 	"strings"
 	"testing"
 
@@ -407,22 +406,5 @@ func TestSchedulerAblation(t *testing.T) {
 	}
 	if dn.MaxOverAvg >= base.MaxOverAvg {
 		t.Errorf("datanet imbalance %.2f not better than locality %.2f", dn.MaxOverAvg, base.MaxOverAvg)
-	}
-}
-
-func TestRunSuiteSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("suite is seconds-long; skipped in -short")
-	}
-	var buf bytes.Buffer
-	if err := RunSuite(&buf); err != nil {
-		t.Fatal(err)
-	}
-	out := buf.String()
-	for _, want := range []string{"Figure 1", "Figure 2", "Table I", "Figure 5", "Figure 6",
-		"Figure 7", "Figure 8", "Table II", "Figure 9", "Figure 10", "Ablation"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("suite output missing %q", want)
-		}
 	}
 }

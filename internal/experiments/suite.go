@@ -3,143 +3,263 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"datanet/internal/stats"
 )
 
+// suiteSection is one experiment of the paper suite. Sections marked
+// shared consume the shared 256-block movie environment (Fig. 5–7, Tables
+// I–II, Fig. 9–10, the migration analysis, …) and must run in their
+// declared order, since the paper derives them from the same runs;
+// independent sections build their own environments (or are analytic) and
+// may run concurrently.
+type suiteSection struct {
+	name   string
+	shared bool
+	run    func(env *Env) (fmt.Stringer, error)
+}
+
+// suiteSections is the full paper suite in output order.
+func suiteSections() []suiteSection {
+	return []suiteSection{
+		// Figure 1 (its own 128-block env, as in the paper's intro example).
+		{"fig1", false, func(*Env) (fmt.Stringer, error) {
+			p := DefaultMovieParams()
+			p.Blocks = 128
+			r, err := Fig1(p)
+			return r, err
+		}},
+		// Figure 2 (analytic).
+		{"fig2", false, func(*Env) (fmt.Stringer, error) {
+			return Fig2(stats.Gamma{}, 0, nil), nil
+		}},
+		{"table1", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Table1(env)
+			return r, err
+		}},
+		{"fig5", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Fig5WithEnv(env)
+			return r, err
+		}},
+		{"fig6", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Fig6(env)
+			return r, err
+		}},
+		{"fig7", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Fig7(env)
+			return r, err
+		}},
+		{"fig8", false, func(*Env) (fmt.Stringer, error) {
+			r, err := Fig8(EventParams{})
+			return r, err
+		}},
+		{"table2", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Table2(env, nil)
+			return r, err
+		}},
+		{"fig9", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Fig9(env, 50)
+			return r, err
+		}},
+		{"fig10", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Fig10(env, nil)
+			return r, err
+		}},
+		{"migration", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Migration(env)
+			return r, err
+		}},
+		{"bucket-ablation", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := BucketAblation(env)
+			return r, err
+		}},
+		{"scheduler-ablation", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := SchedulerAblation(env)
+			return r, err
+		}},
+		// Extension experiments (beyond the paper's figures; DESIGN.md §5-6).
+		{"theory", false, func(*Env) (fmt.Stringer, error) {
+			r, err := Theory(stats.Gamma{}, 0, 0, 3)
+			return r, err
+		}},
+		{"cluster-sweep", false, func(*Env) (fmt.Stringer, error) {
+			r, err := ClusterSweep(nil, MovieParams{})
+			return r, err
+		}},
+		{"heterogeneity", false, func(*Env) (fmt.Stringer, error) {
+			r, err := Heterogeneity(MovieParams{})
+			return r, err
+		}},
+		{"reactive", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Reactive(env)
+			return r, err
+		}},
+		{"io-saving", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := IOSaving(env, nil)
+			return r, err
+		}},
+		{"selectivity", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Selectivity(env, nil)
+			return r, err
+		}},
+		{"weblog", false, func(*Env) (fmt.Stringer, error) {
+			r, err := WebLog(WebLogParams{})
+			return r, err
+		}},
+		{"placement", false, func(*Env) (fmt.Stringer, error) {
+			r, err := Placement(MovieParams{})
+			return r, err
+		}},
+		{"model-check", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := ModelCheck(env, nil)
+			return r, err
+		}},
+		{"aggregation", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Aggregation(env, nil)
+			return r, err
+		}},
+		{"amortization", true, func(env *Env) (fmt.Stringer, error) {
+			r, err := Amortization(env)
+			return r, err
+		}},
+		{"block-size", false, func(*Env) (fmt.Stringer, error) {
+			r, err := BlockSize(nil, MovieParams{})
+			return r, err
+		}},
+		{"replication", false, func(*Env) (fmt.Stringer, error) {
+			r, err := Replication(nil, MovieParams{})
+			return r, err
+		}},
+		{"fault-tolerance", false, func(*Env) (fmt.Stringer, error) {
+			r, err := FaultTolerance(MovieParams{})
+			return r, err
+		}},
+	}
+}
+
 // RunSuite executes every paper experiment in order and streams the
 // rendered results to w. It shares one movie environment across the
-// experiments that the paper derives from the same runs (Fig. 5–7, Tables
-// I–II, Fig. 9–10, the migration analysis), exactly as the paper does.
+// experiments that the paper derives from the same runs, exactly as the
+// paper does.
 func RunSuite(w io.Writer) error {
-	section := func(s fmt.Stringer, err error) error {
-		if err != nil {
-			return err
+	return RunSuiteParallel(w, 1)
+}
+
+// RunSuiteParallel runs the suite on up to workers concurrent goroutines.
+// The kernel-based engine is job-isolated (each job runs on its own event
+// queue and clock), so independent sections fan out freely; sections
+// sharing the movie environment keep their declared order on a single
+// chain. Output is streamed in the fixed suite order regardless of
+// completion order, so the bytes written to w are identical to the
+// sequential run. workers <= 1 runs fully sequentially on the calling
+// goroutine.
+func RunSuiteParallel(w io.Writer, workers int) error {
+	_, err := runSuite(w, workers, false)
+	return err
+}
+
+// RunSuiteBench runs the suite like RunSuiteParallel and additionally
+// collects the per-section benchmark report (wall-clock seconds and, where
+// a section exposes them, simulated makespans).
+func RunSuiteBench(w io.Writer, workers int) (*BenchReport, error) {
+	return runSuite(w, workers, true)
+}
+
+func runSuite(w io.Writer, workers int, bench bool) (*BenchReport, error) {
+	secs := suiteSections()
+	suiteStart := time.Now()
+	outs := make([]fmt.Stringer, len(secs))
+	errs := make([]error, len(secs))
+	wall := make([]float64, len(secs))
+
+	if workers <= 1 {
+		// Fully sequential: no goroutines, results printed as they finish.
+		// The shared environment is built lazily, right before its first
+		// consumer (preserving the legacy section/error interleaving).
+		var env *Env
+		var rep *BenchReport
+		if bench {
+			rep = &BenchReport{Workers: 1}
 		}
-		_, werr := fmt.Fprintln(w, s.String())
-		return werr
+		for _, s := range secs {
+			if s.shared && env == nil {
+				var err error
+				if env, err = NewMovieEnv(DefaultMovieParams()); err != nil {
+					return rep, err
+				}
+			}
+			t0 := time.Now()
+			out, err := s.run(env)
+			if err != nil {
+				return rep, err
+			}
+			if rep != nil {
+				rep.Sections = append(rep.Sections, benchSection(s.name, time.Since(t0), out))
+			}
+			if _, err := fmt.Fprintln(w, out.String()); err != nil {
+				return rep, err
+			}
+		}
+		if rep != nil {
+			rep.WallSeconds = time.Since(suiteStart).Seconds()
+		}
+		return rep, nil
 	}
 
-	// Figure 1 (its own 128-block env, as in the paper's intro example).
-	f1p := DefaultMovieParams()
-	f1p.Blocks = 128
-	r1, err := Fig1(f1p)
-	if err := section(r1, err); err != nil {
-		return err
-	}
-
-	// Figure 2 (analytic).
-	if _, err := fmt.Fprintln(w, Fig2(stats.Gamma{}, 0, nil).String()); err != nil {
-		return err
-	}
-
-	// Shared 256-block movie environment.
 	env, err := NewMovieEnv(DefaultMovieParams())
 	if err != nil {
-		return err
+		return nil, err
 	}
+	sem := make(chan struct{}, workers)
+	runOne := func(i int) {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		t0 := time.Now()
+		outs[i], errs[i] = secs[i].run(env)
+		wall[i] = time.Since(t0).Seconds()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the shared-env chain: declared order, one at a time
+		defer wg.Done()
+		for i := range secs {
+			if secs[i].shared {
+				runOne(i)
+			}
+		}
+	}()
+	for i := range secs {
+		if !secs[i].shared {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+	}
+	wg.Wait()
 
-	t1, err := Table1(env)
-	if err := section(t1, err); err != nil {
-		return err
+	var rep *BenchReport
+	if bench {
+		rep = &BenchReport{Workers: workers}
 	}
-	f5, err := Fig5WithEnv(env)
-	if err := section(f5, err); err != nil {
-		return err
+	for i, s := range secs {
+		if errs[i] != nil {
+			return rep, errs[i]
+		}
+		if rep != nil {
+			sec := benchSection(s.name, 0, outs[i])
+			sec.WallSeconds = wall[i]
+			rep.Sections = append(rep.Sections, sec)
+		}
+		if _, err := fmt.Fprintln(w, outs[i].String()); err != nil {
+			return rep, err
+		}
 	}
-	f6, err := Fig6(env)
-	if err := section(f6, err); err != nil {
-		return err
+	if rep != nil {
+		rep.WallSeconds = time.Since(suiteStart).Seconds()
 	}
-	f7, err := Fig7(env)
-	if err := section(f7, err); err != nil {
-		return err
-	}
-	f8, err := Fig8(EventParams{})
-	if err := section(f8, err); err != nil {
-		return err
-	}
-	t2, err := Table2(env, nil)
-	if err := section(t2, err); err != nil {
-		return err
-	}
-	f9, err := Fig9(env, 50)
-	if err := section(f9, err); err != nil {
-		return err
-	}
-	f10, err := Fig10(env, nil)
-	if err := section(f10, err); err != nil {
-		return err
-	}
-	mig, err := Migration(env)
-	if err := section(mig, err); err != nil {
-		return err
-	}
-	ba, err := BucketAblation(env)
-	if err := section(ba, err); err != nil {
-		return err
-	}
-	sa, err := SchedulerAblation(env)
-	if err := section(sa, err); err != nil {
-		return err
-	}
-
-	// Extension experiments (beyond the paper's figures; DESIGN.md §5-6).
-	th, err := Theory(stats.Gamma{}, 0, 0, 3)
-	if err := section(th, err); err != nil {
-		return err
-	}
-	sw, err := ClusterSweep(nil, MovieParams{})
-	if err := section(sw, err); err != nil {
-		return err
-	}
-	het, err := Heterogeneity(MovieParams{})
-	if err := section(het, err); err != nil {
-		return err
-	}
-	re, err := Reactive(env)
-	if err := section(re, err); err != nil {
-		return err
-	}
-	io, err := IOSaving(env, nil)
-	if err := section(io, err); err != nil {
-		return err
-	}
-	sel, err := Selectivity(env, nil)
-	if err := section(sel, err); err != nil {
-		return err
-	}
-	wl, err := WebLog(WebLogParams{})
-	if err := section(wl, err); err != nil {
-		return err
-	}
-	pl, err := Placement(MovieParams{})
-	if err := section(pl, err); err != nil {
-		return err
-	}
-	mc, err := ModelCheck(env, nil)
-	if err := section(mc, err); err != nil {
-		return err
-	}
-	ag, err := Aggregation(env, nil)
-	if err := section(ag, err); err != nil {
-		return err
-	}
-	am, err := Amortization(env)
-	if err := section(am, err); err != nil {
-		return err
-	}
-	bsz, err := BlockSize(nil, MovieParams{})
-	if err := section(bsz, err); err != nil {
-		return err
-	}
-	rep, err := Replication(nil, MovieParams{})
-	if err := section(rep, err); err != nil {
-		return err
-	}
-	ft, err := FaultTolerance(MovieParams{})
-	if err := section(ft, err); err != nil {
-		return err
-	}
-	return nil
+	return rep, nil
 }

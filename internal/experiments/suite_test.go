@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateSuiteGolden = flag.Bool("update-suite", false, "rewrite testdata/suite.golden from the current sequential run")
+
+// TestSuiteGoldenAndParallel pins the whole suite's rendered output
+// (sequential run vs. the golden file) and verifies the parallel runner is
+// byte-identical to it — the kernel-based engine is job-isolated, so
+// concurrency must not change a single byte.
+func TestSuiteGoldenAndParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite is seconds-long; skipped in -short")
+	}
+	var seq bytes.Buffer
+	if err := RunSuite(&seq); err != nil {
+		t.Fatal(err)
+	}
+	out := seq.String()
+	for _, want := range []string{"Figure 1", "Figure 2", "Table I", "Figure 5", "Figure 6",
+		"Figure 7", "Figure 8", "Table II", "Figure 9", "Figure 10", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite output missing %q", want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "suite.golden")
+	if *updateSuiteGolden {
+		if err := os.WriteFile(golden, seq.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), want) {
+		t.Errorf("sequential suite output deviates from %s (run with -update-suite to rebless); got %d bytes, want %d",
+			golden, seq.Len(), len(want))
+	}
+
+	var par bytes.Buffer
+	rep, err := RunSuiteBench(&par, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(par.Bytes(), seq.Bytes()) {
+		t.Errorf("parallel suite output differs from sequential (%d vs %d bytes)", par.Len(), seq.Len())
+	}
+	if rep == nil || rep.Workers != 4 || len(rep.Sections) != len(suiteSections()) {
+		t.Fatalf("bench report incomplete: %+v", rep)
+	}
+	haveMakespans := false
+	for _, s := range rep.Sections {
+		if s.Name == "" {
+			t.Error("bench section with empty name")
+		}
+		if len(s.SimMakespans) > 0 {
+			haveMakespans = true
+		}
+	}
+	if !haveMakespans {
+		t.Error("no section reported simulated makespans")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"datanet/internal/cluster"
+	"datanet/internal/sim"
 	"datanet/internal/trace"
 )
 
@@ -210,6 +211,26 @@ func (in *Injector) Active() bool { return in.active }
 // Crashes returns the crash events sorted by time (callers must not
 // mutate the slice).
 func (in *Injector) Crashes() []Crash { return in.crashes }
+
+// Schedule posts the plan's crash schedule into the kernel as events of
+// the given kind and priority: one event per distinct crash instant, so
+// simultaneous crashes arrive as one delivery group and blocks losing
+// every replica at once are detected as unrecoverable. The handler owns
+// the node grouping (via Crashes); the event itself only marks the
+// instant. Returns the number of events posted.
+func (in *Injector) Schedule(k *sim.Kernel, kind sim.Kind, prio int8) int {
+	n := 0
+	for i := 0; i < len(in.crashes); {
+		j := i
+		for j < len(in.crashes) && in.crashes[j].At == in.crashes[i].At {
+			j++
+		}
+		k.Post(sim.Event{At: in.crashes[i].At, Kind: kind, Prio: prio})
+		i = j
+		n++
+	}
+	return n
+}
 
 // DeadAt reports whether the node is down at simulated time t: some crash
 // with At ≤ t has no rejoin, or rejoins after t.

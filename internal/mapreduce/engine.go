@@ -28,7 +28,6 @@ package mapreduce
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 
 	"datanet/internal/apps"
@@ -37,6 +36,7 @@ import (
 	"datanet/internal/hdfs"
 	"datanet/internal/records"
 	"datanet/internal/sched"
+	"datanet/internal/sim"
 	"datanet/internal/trace"
 )
 
@@ -113,6 +113,13 @@ type Config struct {
 	// records nothing and costs nothing — results are bit-identical to an
 	// untraced run.
 	Trace *trace.Recorder
+	// KernelTrace, when non-nil, additionally subscribes to the simulation
+	// kernel's delivery stream (via trace.KernelTap): one EvKernelDeliver
+	// entry per event the filter-phase kernel delivers, in delivery order —
+	// the schedule itself, for auditing the determinism contract. It is a
+	// separate recorder from Trace so the semantic timeline stays
+	// byte-identical whether or not the kernel is being observed.
+	KernelTrace *trace.Recorder
 	// WeightsErr records that the caller tried and failed to obtain
 	// ElasticMap weights (e.g. elasticmap.ErrCodec on a corrupt encoding).
 	// The engine then degrades gracefully: the job runs under the locality
@@ -340,308 +347,32 @@ func Run(cfg Config) (*Result, error) {
 	picker := factory(tasks, topo)
 	res.SchedulerName = picker.Name()
 
-	// Phase 1: filter. Event-driven slot simulation under the pull model,
-	// with failure-aware execution (crash detection, re-replication, retry
-	// with backoff on surviving replica holders) — see filter.go.
-	sim := newFilterSim(cfg, topo, inj, retry, tasks, truth, picker, res)
-	if err := sim.run(); err != nil {
+	// Run the phase pipeline (see phases.go) on one simulated clock: the
+	// event-driven filter simulation, the optional reactive rebalance, the
+	// analysis maps with crash recovery and speculation, the shuffle
+	// window and the reduce — each phase advancing the clock to its
+	// barrier.
+	jc := &jobContext{
+		cfg:    cfg,
+		topo:   topo,
+		inj:    inj,
+		clock:  sim.NewClock(),
+		rec:    rec,
+		res:    res,
+		blocks: blocks,
+		tasks:  tasks,
+		fsim:   newFilterSim(cfg, topo, inj, retry, tasks, truth, picker, res),
+		coll:   newCollector(cfg),
+	}
+	if err := runPipeline(jc); err != nil {
 		return nil, err
-	}
-	nodeTasks := sim.nodeTasks
-	if rec.Enabled() {
-		ev := trace.At(res.FilterEnd, trace.EvPhase)
-		ev.Detail = "filter-end"
-		rec.Record(ev)
-	}
-
-	// The real application output is exactly-once per task regardless of
-	// how many attempts its block needed: the collector replays the task
-	// list (block order = file order) after the surviving outputs are
-	// known.
-	collector := newCollector(cfg)
-	if cfg.ExecuteApp {
-		for _, t := range tasks {
-			collector.runMap(blocks[t.Index], cfg)
-		}
-	}
-
-	// Optional reactive rebalance (§V-A.4 comparator): level the filtered
-	// workloads by migrating bytes, paying the network time of the busiest
-	// endpoint, before analysis starts.
-	analysisStart := res.FilterEnd
-	if cfg.RebalanceAfterFilter {
-		plan := sched.PlanRebalance(res.NodeWorkload)
-		res.MigratedBytes = plan.BytesMoved
-		endpointBytes := make(map[cluster.NodeID]int64)
-		for _, mv := range plan.Moves {
-			endpointBytes[mv.From] += mv.Bytes
-			endpointBytes[mv.To] += mv.Bytes
-			res.NodeWorkload[mv.From] -= mv.Bytes
-			res.NodeWorkload[mv.To] += mv.Bytes
-		}
-		for id, bytes := range endpointBytes {
-			t := float64(bytes) / inj.NetRate(id, topo.Node(id).NetRate)
-			if t > res.MigrationTime {
-				res.MigrationTime = t
-			}
-		}
-		if rec.Enabled() {
-			ev := trace.At(res.FilterEnd, trace.EvPhase)
-			ev.Dur = res.MigrationTime
-			ev.Bytes = res.MigratedBytes
-			ev.Detail = "rebalance-migration"
-			rec.Record(ev)
-		}
-		analysisStart += res.MigrationTime
-	}
-
-	// Phase 2: analysis over the locally stored filtered data. The data
-	// cannot move, so stragglers are exactly the overloaded nodes. Each
-	// node runs one analysis map per filtered fragment it stored (one per
-	// filter task it executed — per-task setup is therefore balanced
-	// across nodes), while compute scales with its filtered bytes. The
-	// fragments are page-cache-hot right after the filter pass, so the
-	// analysis map is compute-bound: light applications (MovingAverage)
-	// are dominated by the balanced setup term and gain little from
-	// balancing, heavy ones (TopKSearch) gain the most — the Fig. 5(a)/6
-	// gradient.
-	durations := make(map[cluster.NodeID]float64, topo.N())
-	for _, id := range topo.IDs() {
-		node := topo.Node(id)
-		w := res.NodeWorkload[id]
-		durations[id] = float64(nodeTasks[id])*cfg.TaskOverhead +
-			float64(w)*cfg.App.CostFactor()/inj.CPURate(id, node.CPURate)
-	}
-	// Crashes striking after the filter barrier destroy the victim's
-	// stored fragments mid-analysis; a surviving node re-reads and redoes
-	// that share (see filterSim.recoverAnalysis). Recovery is applied
-	// before speculative execution mitigates the remaining stragglers.
-	if err := sim.recoverAnalysis(analysisStart, durations); err != nil {
-		return nil, err
-	}
-	live := make([]cluster.NodeID, 0, topo.N())
-	for _, id := range topo.IDs() {
-		if !inj.DeadAt(id, analysisStart) {
-			live = append(live, id)
-		}
-	}
-	if cfg.Speculative {
-		res.SpeculativeWins = speculate(topo, live, res.NodeWorkload, durations, cfg, inj, rec, analysisStart)
-	}
-	res.FirstMapEnd = -1
-	for _, id := range topo.IDs() {
-		dur := durations[id]
-		res.NodeCompute[id] = dur
-		res.NodeBusy[id] += dur
-		end := analysisStart + dur
-		if end > res.MapEnd {
-			res.MapEnd = end
-		}
-		if res.FirstMapEnd < 0 || end < res.FirstMapEnd {
-			res.FirstMapEnd = end
-		}
-		if rec.Enabled() && dur > 0 {
-			rec.Record(trace.Event{T: analysisStart, Type: trace.EvAnalysisSpan,
-				Node: int(id), Block: -1, Dur: dur})
-		}
-	}
-	if res.FirstMapEnd < 0 {
-		res.FirstMapEnd = analysisStart
-	}
-	if rec.Enabled() {
-		ev := trace.At(res.MapEnd, trace.EvPhase)
-		ev.Detail = "map-end"
-		rec.Record(ev)
-	}
-
-	// Phase 3: shuffle (§V-A.3: opens at the first analysis-map
-	// completion, cannot close before the last). Each reducer fetches its
-	// share of the total map output at its NIC rate, minus whatever was
-	// produced on its own node (local output never crosses the network).
-	// Placement is round-robin by default; with OutputAwareReducers the
-	// reduce tasks land on the highest-output nodes, maximizing that local
-	// share — the paper's future-work aggregation optimization.
-	var totalMatched int64
-	for _, w := range res.NodeWorkload {
-		totalMatched += w
-	}
-	totalOut := float64(totalMatched) * cfg.App.OutputRatio()
-	// Reduce tasks only land on nodes alive when the shuffle opens.
-	liveAtShuffle := make([]cluster.NodeID, 0, topo.N())
-	for _, id := range topo.IDs() {
-		if !inj.DeadAt(id, res.MapEnd) {
-			liveAtShuffle = append(liveAtShuffle, id)
-		}
-	}
-	if len(liveAtShuffle) == 0 {
-		return nil, fmt.Errorf("%w: nowhere to place reduce tasks", ErrNoLiveNodes)
-	}
-	reducerNode := make([]cluster.NodeID, cfg.Reducers)
-	if cfg.OutputAwareReducers {
-		plan := sched.PlanAggregation(res.NodeWorkload, cfg.Reducers)
-		for r := range reducerNode {
-			nid := plan.Aggregators[r%len(plan.Aggregators)]
-			if inj.DeadAt(nid, res.MapEnd) {
-				nid = liveAtShuffle[r%len(liveAtShuffle)]
-			}
-			reducerNode[r] = nid
-		}
-	} else {
-		for r := range reducerNode {
-			reducerNode[r] = liveAtShuffle[r%len(liveAtShuffle)]
-		}
-	}
-	res.ShuffleDurations = make([]float64, cfg.Reducers)
-	shuffleEnd := res.MapEnd
-	for r := 0; r < cfg.Reducers; r++ {
-		nid := reducerNode[r]
-		// This reducer's partition share of every node's output; the share
-		// from its own node stays local.
-		remoteOut := (totalOut - float64(res.NodeWorkload[nid])*cfg.App.OutputRatio()) / float64(cfg.Reducers)
-		if remoteOut < 0 {
-			remoteOut = 0
-		}
-		xfer := remoteOut / inj.NetRate(nid, topo.Node(nid).NetRate)
-		res.ShuffleBytes += int64(remoteOut)
-		end := res.FirstMapEnd + xfer
-		if end < res.MapEnd {
-			end = res.MapEnd
-		}
-		res.ShuffleDurations[r] = end - res.FirstMapEnd
-		if end > shuffleEnd {
-			shuffleEnd = end
-		}
-		if rec.Enabled() {
-			rec.Record(trace.Event{T: res.FirstMapEnd, Type: trace.EvShuffleSpan,
-				Node: int(nid), Block: -1, Attempt: r,
-				Dur: end - res.FirstMapEnd, Bytes: int64(remoteOut)})
-		}
-	}
-	res.ShuffleEnd = shuffleEnd
-	if rec.Enabled() {
-		ev := trace.At(res.ShuffleEnd, trace.EvPhase)
-		ev.Detail = "shuffle-end"
-		rec.Record(ev)
-	}
-
-	// Phase 4: reduce.
-	reduceEnd := res.ShuffleEnd
-	for r := 0; r < cfg.Reducers; r++ {
-		nid := reducerNode[r]
-		vol := totalOut / float64(cfg.Reducers)
-		end := res.ShuffleEnd + vol*cfg.ReduceCostFactor/inj.CPURate(nid, topo.Node(nid).CPURate)
-		if end > reduceEnd {
-			reduceEnd = end
-		}
-		if rec.Enabled() {
-			rec.Record(trace.Event{T: res.ShuffleEnd, Type: trace.EvReduceSpan,
-				Node: int(nid), Block: -1, Attempt: r, Dur: end - res.ShuffleEnd})
-		}
-	}
-	res.ReduceEnd = reduceEnd
-	res.JobTime = reduceEnd
-	res.AnalysisTime = reduceEnd - res.FilterEnd
-	if rec.Enabled() {
-		ev := trace.At(res.ReduceEnd, trace.EvPhase)
-		ev.Detail = "reduce-end"
-		rec.Record(ev)
 	}
 
 	if cfg.ExecuteApp {
-		res.Output = collector.reduce(cfg.App)
+		res.Output = jc.coll.reduce(cfg.App)
 	}
 	sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].End < res.Tasks[j].End })
 	return res, nil
-}
-
-// speculate models Hadoop's speculative execution over the per-node
-// analysis durations: for every straggler (duration > speculationFactor ×
-// median), the node with the shortest duration offloads part of the
-// straggler's filtered fragments once it is free, re-reading them over the
-// network. The fragment split f is chosen so both finish together:
-//
-//	d_straggler·f = helperFree + overhead + (1−f)·remoteDuration
-//
-// Durations are mutated in place; the number of helped stragglers is
-// returned. This stays a *reactive* mitigation: it discovers the skew only
-// at runtime and pays network re-reads, whereas DataNet prevents the skew.
-//
-// ids restricts speculation to live nodes. Degenerate topologies are
-// handled explicitly: fewer than two candidates means no distinct helper
-// exists, an all-zero duration profile has no stragglers (median 0), and a
-// helper with non-positive effective rates would make backup attempts
-// meaningless (division by zero), so all three return zero wins untouched.
-// rec, when enabled, receives one task.speculate event per win, anchored
-// at analysisStart on the straggler's track.
-func speculate(topo *cluster.Topology, ids []cluster.NodeID, workload map[cluster.NodeID]int64, durations map[cluster.NodeID]float64, cfg Config, inj *faults.Injector, rec *trace.Recorder, analysisStart float64) int {
-	const speculationFactor = 1.5
-	if len(ids) < 2 {
-		return 0
-	}
-	sorted := make([]float64, 0, len(ids))
-	for _, id := range ids {
-		sorted = append(sorted, durations[id])
-	}
-	sort.Float64s(sorted)
-	median := sorted[len(sorted)/2]
-	if median <= 0 {
-		return 0
-	}
-	// The fastest node hosts the backups, serially after its own work.
-	var helper cluster.NodeID
-	for i, id := range ids {
-		if i == 0 || durations[id] < durations[helper] {
-			helper = id
-		}
-	}
-	helperFree := durations[helper]
-	wins := 0
-	// Deterministic order: worst straggler first.
-	type cand struct {
-		id  cluster.NodeID
-		dur float64
-	}
-	var stragglers []cand
-	for _, id := range ids {
-		if id != helper && durations[id] > speculationFactor*median {
-			stragglers = append(stragglers, cand{id, durations[id]})
-		}
-	}
-	sort.Slice(stragglers, func(i, j int) bool {
-		if stragglers[i].dur != stragglers[j].dur {
-			return stragglers[i].dur > stragglers[j].dur
-		}
-		return stragglers[i].id < stragglers[j].id
-	})
-	h := topo.Node(helper)
-	helperNet := inj.NetRate(helper, h.NetRate)
-	helperCPU := inj.CPURate(helper, h.CPURate)
-	if helperNet <= 0 || helperCPU <= 0 {
-		return 0
-	}
-	for _, s := range stragglers {
-		w := float64(workload[s.id])
-		remote := w/helperNet + w*cfg.App.CostFactor()/helperCPU
-		start := helperFree + cfg.TaskOverhead
-		if s.dur+remote <= 0 {
-			continue
-		}
-		f := (start + remote) / (s.dur + remote)
-		if f >= 1 {
-			continue // the backup cannot beat the original
-		}
-		finish := s.dur * f
-		durations[s.id] = finish
-		helperFree = finish
-		wins++
-		if rec.Enabled() {
-			ev := trace.At(analysisStart+finish, trace.EvSpeculate)
-			ev.Node = int(s.id)
-			ev.Detail = fmt.Sprintf("backup on node %d", helper)
-			rec.Record(ev)
-		}
-	}
-	return wins
 }
 
 func isLocalTask(t sched.Task, node cluster.NodeID) bool {

@@ -1,7 +1,6 @@
 package mapreduce
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -10,17 +9,40 @@ import (
 	"datanet/internal/faults"
 	"datanet/internal/hdfs"
 	"datanet/internal/sched"
+	"datanet/internal/sim"
 	"datanet/internal/trace"
 )
 
-// This file is the filter phase's discrete-event simulator, including the
-// failure-aware execution paths: node crashes void in-flight attempts and
+// This file is the filter phase, built as a set of event handlers on the
+// deterministic discrete-event kernel (internal/sim): slot-free events ask
+// the scheduler for work, attempt-done events commit or retry, crash
+// events (posted by the fault injector) void in-flight attempts and
 // destroy locally stored filter outputs (both are re-queued and retried on
 // surviving replica holders with capped, exponentially backed-off attempts
 // in simulated time), transient read errors burn an attempt, and the HDFS
 // name-node repairs replication after every crash so long jobs recover
-// locality. With no fault plan the loop reduces to the original pull-model
-// simulation.
+// locality. With no fault plan the handlers reduce to the original
+// pull-model simulation; either way the schedule is a pure function of the
+// inputs (the kernel's ordering guarantee), so identical jobs replay
+// bit-identically.
+
+// Kernel event kinds of the filter phase.
+const (
+	// evCrash delivers one group of simultaneous node crashes. Its
+	// priority orders fault delivery before any slot activity at the same
+	// instant — a task ending exactly when its node dies is voided.
+	evCrash sim.Kind = iota
+	// evSlotFree is one execution slot asking the scheduler for work
+	// (K1=node, K2=slot; payload is the slot generation).
+	evSlotFree
+	// evAttemptDone is one task attempt reaching its completion time
+	// (payload *runAttempt).
+	evAttemptDone
+	// evRetryReady marks a failed task's backoff maturing. It needs no
+	// handler: parked slots consult the kernel horizon (NextAt) for the
+	// earliest instant new work can appear, which these events define.
+	evRetryReady
+)
 
 // Typed failure errors.
 var (
@@ -50,41 +72,6 @@ func (e *BlockFailure) Error() string {
 // Unwrap makes errors.Is(err, ErrDataLost) work.
 func (e *BlockFailure) Unwrap() error { return e.Cause }
 
-// slotEvent is one execution slot becoming free, or — when run is set —
-// one task attempt reaching its completion time.
-type slotEvent struct {
-	at   float64
-	node cluster.NodeID
-	slot int
-	// gen guards against stale events: a crash resets the slot and bumps
-	// its generation, orphaning whatever was still queued for it.
-	gen int
-	// run, when non-nil, is the attempt finishing at this event.
-	run *runAttempt
-}
-
-type slotHeap []slotEvent
-
-func (h slotHeap) Len() int { return len(h) }
-func (h slotHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].node != h[j].node {
-		return h[i].node < h[j].node
-	}
-	return h[i].slot < h[j].slot
-}
-func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slotEvent)) }
-func (h *slotHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // runAttempt is one execution attempt of one filter task.
 type runAttempt struct {
 	li         int // index into filterSim.tasks
@@ -97,6 +84,12 @@ type runAttempt struct {
 	attempt    int
 	failed     bool // transient read error: the attempt burns its slot time and retries
 	voided     bool // killed by a crash before completion
+	// gen guards against stale completions: a crash resets the slot and
+	// bumps its generation, orphaning whatever was still queued for it.
+	gen int
+	// ev is the queued completion event, hidden from the kernel horizon
+	// when the attempt is voided (a dead attempt no longer creates work).
+	ev *sim.Event
 }
 
 type slotKey struct {
@@ -108,6 +101,9 @@ type slotKey struct {
 type retryItem struct {
 	readyAt float64
 	li      int
+	// ev is the queued retry-ready marker, hidden once the retry is taken
+	// so the kernel horizon reflects only work that can still appear.
+	ev *sim.Event
 }
 
 // filterSim runs the filter phase.
@@ -121,7 +117,7 @@ type filterSim struct {
 	picker sched.Picker
 	res    *Result
 
-	h         slotHeap
+	kern      *sim.Kernel
 	gens      map[slotKey]int
 	running   map[slotKey]*runAttempt
 	byNode    map[cluster.NodeID][]*runAttempt // live committed outputs per node
@@ -138,6 +134,17 @@ type filterSim struct {
 	// be re-read from the name-node instead of the job's snapshot.
 	layoutDirty bool
 	nodeTasks   map[cluster.NodeID]int
+	// slotLive counts queued slot-free and attempt-done events (stale
+	// generations included). When it reaches zero no slot can ever serve
+	// again, so the kernel stops — undelivered crash instants then belong
+	// to the analysis phase.
+	slotLive int
+	// idleRetries bounds consecutive declined slot requests, guarding
+	// against a picker that never serves. A declined request (no task
+	// while work remains) models Hadoop's heartbeat protocol: the slot
+	// asks again after a heartbeat interval (delay scheduling relies on
+	// this).
+	idleRetries int
 
 	// Tracing state (all nil/zero when tracing is off — the fast path).
 	// rec receives timeline events; lastRule carries the acquire path's
@@ -151,6 +158,8 @@ type filterSim struct {
 	wbar     float64
 }
 
+const maxIdleRetries = 1 << 20
+
 func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retry faults.RetryPolicy, tasks []sched.Task, truth []int64, picker sched.Picker, res *Result) *filterSim {
 	s := &filterSim{
 		cfg:       cfg,
@@ -161,6 +170,7 @@ func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retr
 		truth:     truth,
 		picker:    picker,
 		res:       res,
+		kern:      sim.New(nil),
 		gens:      make(map[slotKey]int),
 		running:   make(map[slotKey]*runAttempt),
 		byNode:    make(map[cluster.NodeID][]*runAttempt),
@@ -191,90 +201,43 @@ func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retr
 	return s
 }
 
+// slotHandler wraps a slot-event handler with the live-slot accounting:
+// once the last slot event drains, nothing can ever request work again and
+// the kernel stops.
+func (s *filterSim) slotHandler(inner sim.Handler) sim.Handler {
+	return func(ev *sim.Event) error {
+		s.slotLive--
+		if err := inner(ev); err != nil {
+			return err
+		}
+		if s.slotLive == 0 {
+			s.kern.Stop()
+		}
+		return nil
+	}
+}
+
 // run executes the event loop until every filter task has a surviving
 // output or the job fails with a typed error.
 func (s *filterSim) run() error {
+	if s.cfg.KernelTrace.Enabled() {
+		s.kern.Observe(trace.NewKernelTap(s.cfg.KernelTrace, translateKernelEvent))
+	}
+	s.kern.Handle(evCrash, s.onCrash)
+	s.kern.Handle(evSlotFree, s.slotHandler(s.onSlotFree))
+	s.kern.Handle(evAttemptDone, s.slotHandler(s.onAttemptDone))
 	for _, id := range s.topo.IDs() {
 		for slot := 0; slot < s.topo.Node(id).Slots; slot++ {
-			heap.Push(&s.h, slotEvent{at: 0, node: id, slot: slot})
+			s.postSlotFree(0, id, slot, 0)
 		}
 	}
-	// A declined request (no task while work remains) models Hadoop's
-	// heartbeat protocol: the slot asks again after a heartbeat interval
-	// (delay scheduling relies on this). A bounded retry count guards
-	// against a picker that never serves.
-	heartbeat := s.cfg.TaskOverhead
-	idleRetries := 0
-	const maxIdleRetries = 1 << 20
-	for s.h.Len() > 0 {
-		ev := heap.Pop(&s.h).(slotEvent)
-		// Crashes strike the moment simulated time reaches them — but once
-		// the last output is committed the filter barrier has passed, and
-		// later crashes belong to the analysis phase.
-		if s.doneCount < len(s.tasks) {
-			if err := s.applyCrashes(ev.at); err != nil {
-				return err
-			}
+	// The injector owns the crash schedule: one kernel event per crash
+	// instant, ordered before slot activity at the same time.
+	s.inj.Schedule(s.kern, evCrash, -1)
+	if s.slotLive > 0 {
+		if err := s.kern.Run(); err != nil {
+			return err
 		}
-		key := slotKey{ev.node, ev.slot}
-		if ev.gen != s.gens[key] {
-			continue // the slot was reset by a crash; this event is stale
-		}
-		now := ev.at
-		if r := ev.run; r != nil {
-			delete(s.running, key)
-			if r.voided {
-				continue
-			}
-			if r.failed {
-				s.res.TransientErrors++
-				s.res.NodeBusy[ev.node] += r.end - r.start
-				if s.rec.Enabled() {
-					fe := trace.Event{T: r.start, Type: trace.EvTaskFail,
-						Node: int(ev.node), Block: int(r.task.Block),
-						Attempt: r.attempt, Dur: r.end - r.start, Local: r.local,
-						Detail: "read-error"}
-					s.rec.Record(fe)
-					s.assigned[ev.node] -= r.task.Weight
-				}
-				if err := s.requeue(r.li, now, "read-error"); err != nil {
-					return err
-				}
-			} else {
-				s.commit(ev.node, r)
-			}
-		}
-		if s.inj.DeadAt(ev.node, now) {
-			if rj, ok := s.inj.RejoinAfter(ev.node, now); ok {
-				heap.Push(&s.h, slotEvent{at: rj, node: ev.node, slot: ev.slot, gen: ev.gen})
-			}
-			continue // permanently dead: the slot retires
-		}
-		if s.doneCount == len(s.tasks) {
-			continue // filter phase complete: the slot retires
-		}
-		if t, li, ok := s.acquire(ev.node, now); ok {
-			idleRetries = 0
-			s.dispatch(ev, t, li, now)
-			continue
-		}
-		if idleRetries >= maxIdleRetries {
-			continue
-		}
-		idleRetries++
-		next := now + heartbeat
-		if s.picker.Remaining() == 0 {
-			// Nothing to pull; sleep until the next retry matures, an
-			// in-flight attempt resolves, or the next crash frees work.
-			w, ok := s.nextWake()
-			if !ok {
-				continue // nothing can ever create work for this slot
-			}
-			if w > next {
-				next = w
-			}
-		}
-		heap.Push(&s.h, slotEvent{at: next, node: ev.node, slot: ev.slot, gen: ev.gen})
 	}
 	if s.doneCount < len(s.tasks) {
 		return fmt.Errorf("%w: %d filter tasks unfinished", ErrNoLiveNodes, len(s.tasks)-s.doneCount)
@@ -282,25 +245,144 @@ func (s *filterSim) run() error {
 	return nil
 }
 
-// nextWake returns the earliest future instant at which new work can
-// appear for an idle slot.
-func (s *filterSim) nextWake() (float64, bool) {
-	t, ok := 0.0, false
-	upd := func(x float64) {
-		if !ok || x < t {
-			t, ok = x, true
+// translateKernelEvent maps one kernel delivery to its trace entry (the
+// kernel's keys are opaque; this is where they get their meaning back:
+// K1 is the node for slot events and the task index for retry markers,
+// K2 the slot).
+func translateKernelEvent(e *sim.Event) (trace.Event, bool) {
+	ev := trace.At(e.At, trace.EvKernelDeliver)
+	switch e.Kind {
+	case evCrash:
+		ev.Detail = "crash"
+	case evSlotFree:
+		ev.Detail = "slot-free"
+		ev.Node = int(e.K1)
+		ev.Count = int(e.K2)
+	case evAttemptDone:
+		ev.Detail = "attempt-done"
+		ev.Node = int(e.K1)
+		ev.Count = int(e.K2)
+		if r, ok := e.Payload.(*runAttempt); ok {
+			ev.Block = int(r.task.Block)
+			ev.Attempt = r.attempt
+		}
+	case evRetryReady:
+		ev.Detail = "retry-ready"
+	default:
+		return trace.Event{}, false
+	}
+	return ev, true
+}
+
+// postSlotFree queues one slot-free request.
+func (s *filterSim) postSlotFree(at float64, node cluster.NodeID, slot, gen int) {
+	s.kern.Post(sim.Event{At: at, Kind: evSlotFree, K1: int64(node), K2: int64(slot), Payload: gen})
+	s.slotLive++
+}
+
+// onCrash delivers one group of simultaneous crashes. Once the last
+// output is committed the filter barrier has passed, and later crashes
+// belong to the analysis phase (recoverAnalysis), so they are left
+// unapplied for it.
+func (s *filterSim) onCrash(ev *sim.Event) error {
+	if s.doneCount >= len(s.tasks) || s.slotLive == 0 {
+		return nil
+	}
+	t0 := ev.At
+	var group []cluster.NodeID
+	for s.crashIdx < len(s.crashes) && s.crashes[s.crashIdx].At == t0 {
+		group = append(group, s.crashes[s.crashIdx].Node)
+		s.crashIdx++
+	}
+	if len(group) == 0 {
+		return nil
+	}
+	return s.applyCrashGroup(t0, group)
+}
+
+// onSlotFree serves one slot's work request unless the slot was reset by a
+// crash since the event was queued (stale generation).
+func (s *filterSim) onSlotFree(ev *sim.Event) error {
+	node, slot := cluster.NodeID(ev.K1), int(ev.K2)
+	gen := ev.Payload.(int)
+	if gen != s.gens[slotKey{node, slot}] {
+		return nil // the slot was reset by a crash; this event is stale
+	}
+	return s.serveSlot(node, slot, gen, ev.At)
+}
+
+// onAttemptDone resolves one attempt (commit, or burn-and-retry on a read
+// error) and immediately serves the freed slot.
+func (s *filterSim) onAttemptDone(ev *sim.Event) error {
+	node, slot := cluster.NodeID(ev.K1), int(ev.K2)
+	r := ev.Payload.(*runAttempt)
+	key := slotKey{node, slot}
+	if r.gen != s.gens[key] {
+		return nil // the slot was reset by a crash; this event is stale
+	}
+	now := ev.At
+	delete(s.running, key)
+	if r.voided {
+		return nil
+	}
+	if r.failed {
+		s.res.TransientErrors++
+		s.res.NodeBusy[node] += r.end - r.start
+		if s.rec.Enabled() {
+			fe := trace.Event{T: r.start, Type: trace.EvTaskFail,
+				Node: int(node), Block: int(r.task.Block),
+				Attempt: r.attempt, Dur: r.end - r.start, Local: r.local,
+				Detail: "read-error"}
+			s.rec.Record(fe)
+			s.assigned[node] -= r.task.Weight
+		}
+		if err := s.requeue(r.li, now, "read-error"); err != nil {
+			return err
+		}
+	} else {
+		s.commit(node, r)
+	}
+	return s.serveSlot(node, slot, r.gen, now)
+}
+
+// serveSlot is the pull protocol for one freed slot: retire it if its node
+// is dead (waking again at rejoin) or the phase is complete, dispatch the
+// next task if the scheduler serves one, otherwise park until the kernel
+// horizon says new work can appear.
+func (s *filterSim) serveSlot(node cluster.NodeID, slot, gen int, now float64) error {
+	if s.inj.DeadAt(node, now) {
+		if rj, ok := s.inj.RejoinAfter(node, now); ok {
+			s.postSlotFree(rj, node, slot, gen)
+		}
+		return nil // permanently dead: the slot retires
+	}
+	if s.doneCount == len(s.tasks) {
+		return nil // filter phase complete: the slot retires
+	}
+	if t, li, ok := s.acquire(node, now); ok {
+		s.idleRetries = 0
+		s.dispatch(node, slot, gen, t, li, now)
+		return nil
+	}
+	if s.idleRetries >= maxIdleRetries {
+		return nil
+	}
+	s.idleRetries++
+	next := now + s.cfg.TaskOverhead // heartbeat interval
+	if s.picker.Remaining() == 0 {
+		// Nothing to pull; sleep until the kernel's horizon — the
+		// earliest queued retry maturity, in-flight completion or crash —
+		// since only those can create work for this slot.
+		w, ok := s.kern.NextAt(evRetryReady, evAttemptDone, evCrash)
+		if !ok {
+			return nil // nothing can ever create work for this slot
+		}
+		if w > next {
+			next = w
 		}
 	}
-	for _, it := range s.retries {
-		upd(it.readyAt)
-	}
-	for _, r := range s.running {
-		upd(r.end)
-	}
-	if s.crashIdx < len(s.crashes) {
-		upd(s.crashes[s.crashIdx].At)
-	}
-	return t, ok
+	s.postSlotFree(next, node, slot, gen)
+	return nil
 }
 
 // locations returns the block's current replica holders, consulting the
@@ -356,6 +438,7 @@ func (s *filterSim) takeRetry(node cluster.NodeID, now float64, localOnly bool) 
 				continue
 			}
 		}
+		it.ev.Hide() // taken: its maturity no longer creates work
 		s.retries = append(s.retries[:i], s.retries[i+1:]...)
 		return it.li, true
 	}
@@ -382,6 +465,7 @@ func (s *filterSim) requeue(li int, now float64, reason string) error {
 		s.rec.Record(ev)
 	}
 	it := retryItem{readyAt: now + s.retry.Delay(s.attempts[li]), li: li}
+	it.ev = s.kern.Post(sim.Event{At: it.readyAt, Kind: evRetryReady, Prio: 1, K1: int64(li)})
 	s.retries = append(s.retries, it)
 	sort.Slice(s.retries, func(a, b int) bool {
 		if s.retries[a].readyAt != s.retries[b].readyAt {
@@ -393,36 +477,36 @@ func (s *filterSim) requeue(li int, now float64, reason string) error {
 }
 
 // dispatch starts one attempt on the node's slot.
-func (s *filterSim) dispatch(ev slotEvent, t sched.Task, li int, now float64) {
-	node := s.topo.Node(ev.node)
+func (s *filterSim) dispatch(nid cluster.NodeID, slot, gen int, t sched.Task, li int, now float64) {
+	node := s.topo.Node(nid)
 	s.attempts[li]++
 	attempt := s.attempts[li]
 	if s.layoutDirty {
 		t.Locations = s.cfg.FS.Locations(t.Block)
 	}
-	local := isLocalTask(t, ev.node)
+	local := isLocalTask(t, nid)
 	matched := s.truth[t.Index]
-	scan := float64(t.Bytes) / s.inj.DiskRate(ev.node, node.DiskRate)
+	scan := float64(t.Bytes) / s.inj.DiskRate(nid, node.DiskRate)
 	if !local {
 		// Remote read: full NIC rate within the rack; cross-rack links
 		// are oversubscribed by CrossRackPenalty (classic two-tier
 		// datacenter fabric). The read is rack-local when any replica
 		// shares the requester's rack.
-		rate := s.inj.NetRate(ev.node, node.NetRate)
-		if !sameRackAsAnyReplica(s.topo, t, ev.node) {
+		rate := s.inj.NetRate(nid, node.NetRate)
+		if !sameRackAsAnyReplica(s.topo, t, nid) {
 			rate /= s.cfg.CrossRackPenalty
 		}
 		scan += float64(t.Bytes) / rate
 	}
-	failed := s.inj.ReadFails(int(t.Block), int(ev.node), attempt)
+	failed := s.inj.ReadFails(int(t.Block), int(nid), attempt)
 	compute := 0.0
 	if !failed {
-		compute = float64(matched) * s.cfg.FilterCostFactor / s.inj.CPURate(ev.node, node.CPURate)
+		compute = float64(matched) * s.cfg.FilterCostFactor / s.inj.CPURate(nid, node.CPURate)
 	}
 	run := &runAttempt{
 		li: li, task: t, start: now, end: now + s.cfg.TaskOverhead + scan + compute,
 		scan: scan, compute: compute, matched: matched, local: local,
-		attempt: attempt, failed: failed,
+		attempt: attempt, failed: failed, gen: gen,
 	}
 	if s.rec.Enabled() {
 		cand := make([]int, len(t.Locations))
@@ -430,20 +514,21 @@ func (s *filterSim) dispatch(ev slotEvent, t sched.Task, li int, now float64) {
 			cand[i] = int(n)
 		}
 		dec := trace.Event{T: now, Type: trace.EvDecision,
-			Node: int(ev.node), Block: int(t.Block), Attempt: attempt, Local: local,
+			Node: int(nid), Block: int(t.Block), Attempt: attempt, Local: local,
 			Decision: &trace.Decision{
 				Rule: s.lastRule, Candidates: cand, Local: local,
-				Weight: t.Weight, Workload: s.assigned[ev.node], WBar: s.wbar,
+				Weight: t.Weight, Workload: s.assigned[nid], WBar: s.wbar,
 			}}
 		s.rec.Record(dec)
 		st := trace.Event{T: now, Type: trace.EvTaskStart,
-			Node: int(ev.node), Block: int(t.Block), Attempt: attempt, Local: local}
+			Node: int(nid), Block: int(t.Block), Attempt: attempt, Local: local}
 		s.rec.Record(st)
-		s.assigned[ev.node] += t.Weight
+		s.assigned[nid] += t.Weight
 	}
-	key := slotKey{ev.node, ev.slot}
-	s.running[key] = run
-	heap.Push(&s.h, slotEvent{at: run.end, node: ev.node, slot: ev.slot, gen: ev.gen, run: run})
+	s.running[slotKey{nid, slot}] = run
+	run.ev = s.kern.Post(sim.Event{At: run.end, Kind: evAttemptDone,
+		K1: int64(nid), K2: int64(slot), Payload: run})
+	s.slotLive++
 }
 
 // commit records a successful attempt: the filter output now lives on the
@@ -476,28 +561,12 @@ func (s *filterSim) commit(id cluster.NodeID, r *runAttempt) {
 	}
 }
 
-// applyCrashes processes every crash event up to simulated time upto,
-// grouping simultaneous crashes so that blocks losing all replicas at
-// once are correctly detected as unrecoverable.
-func (s *filterSim) applyCrashes(upto float64) error {
-	for s.crashIdx < len(s.crashes) && s.crashes[s.crashIdx].At <= upto {
-		t0 := s.crashes[s.crashIdx].At
-		var group []cluster.NodeID
-		for s.crashIdx < len(s.crashes) && s.crashes[s.crashIdx].At == t0 {
-			group = append(group, s.crashes[s.crashIdx].Node)
-			s.crashIdx++
-		}
-		if err := s.applyCrashGroup(t0, group); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // applyCrashGroup kills the group's nodes at time t0: the name-node
 // repairs replication from surviving copies, in-flight attempts are
 // voided, and completed filter outputs stored on the victims are
-// re-queued (their local sub-dataset fragments are gone).
+// re-queued (their local sub-dataset fragments are gone). Simultaneous
+// crashes arrive as one group so that blocks losing all replicas at once
+// are correctly detected as unrecoverable.
 func (s *filterSim) applyCrashGroup(t0 float64, group []cluster.NodeID) error {
 	s.layoutDirty = true
 	sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
@@ -531,10 +600,11 @@ func (s *filterSim) applyCrashGroup(t0 float64, group []cluster.NodeID) error {
 				continue
 			}
 			r.voided = true
+			r.ev.Hide() // a dead attempt's end no longer creates work
 			delete(s.running, key)
 			s.gens[key]++
 			if rj, ok := s.inj.RejoinAfter(d, t0); ok {
-				heap.Push(&s.h, slotEvent{at: rj, node: d, slot: slot, gen: s.gens[key]})
+				s.postSlotFree(rj, d, slot, s.gens[key])
 			}
 			if s.rec.Enabled() {
 				ve := trace.Event{T: t0, Type: trace.EvTaskVoided,

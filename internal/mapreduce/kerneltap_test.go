@@ -1,0 +1,77 @@
+package mapreduce
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"datanet/internal/trace"
+)
+
+// TestKernelTrace verifies the low-level kernel tap: attaching a
+// KernelTrace recorder must not perturb the semantic trace or the result,
+// and the tap must see the kernel's actual delivery stream (crashes, slot
+// frees, attempt completions, retry markers).
+func TestKernelTrace(t *testing.T) {
+	// Baseline: semantic trace only.
+	semOnly := trace.New()
+	plain, err := Run(tracedFaultConfig(t, semOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same config plus a kernel tap into a separate recorder.
+	sem := trace.New()
+	kern := trace.New()
+	cfg := tracedFaultConfig(t, sem)
+	cfg.KernelTrace = kern
+	tapped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain, tapped) {
+		t.Errorf("kernel tap changed the result:\nplain  %+v\ntapped %+v", plain, tapped)
+	}
+
+	var a, b bytes.Buffer
+	if err := semOnly.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sem.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("kernel tap perturbed the semantic trace JSONL")
+	}
+
+	if kern.Len() == 0 {
+		t.Fatal("kernel tap recorded nothing")
+	}
+	seen := map[string]int{}
+	for _, ev := range kern.Events() {
+		if ev.Type != trace.EvKernelDeliver {
+			t.Fatalf("unexpected event type %q in kernel trace", ev.Type)
+		}
+		seen[ev.Detail]++
+	}
+	// The faulted run crashes node 2 mid-filter and rejoins it later, so
+	// every kind the filter posts must show up in the delivery stream.
+	for _, want := range []string{"crash", "slot-free", "attempt-done", "retry-ready"} {
+		if seen[want] == 0 {
+			t.Errorf("kernel trace has no %q deliveries (saw %v)", want, seen)
+		}
+	}
+
+	// Delivery order is part of the determinism contract: a re-run must
+	// produce the identical delivery stream.
+	kern2 := trace.New()
+	cfg2 := tracedFaultConfig(t, nil)
+	cfg2.KernelTrace = kern2
+	if _, err := Run(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(kern.Events(), kern2.Events()) {
+		t.Error("kernel delivery stream differs between identical runs")
+	}
+}

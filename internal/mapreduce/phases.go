@@ -1,0 +1,400 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"datanet/internal/cluster"
+	"datanet/internal/hdfs"
+	"datanet/internal/sched"
+	"datanet/internal/sim"
+	"datanet/internal/trace"
+
+	"datanet/internal/faults"
+)
+
+// jobContext is the state one job's phases share: the configuration, the
+// pipeline clock, the accumulating Result, and the hand-offs between
+// consecutive phases (filter outputs, reducer placement, output volume).
+type jobContext struct {
+	cfg   Config
+	topo  *cluster.Topology
+	inj   *faults.Injector
+	clock *sim.Clock
+	rec   *trace.Recorder
+	res   *Result
+
+	blocks []*hdfs.Block
+	tasks  []sched.Task
+	fsim   *filterSim
+	coll   *collector
+
+	// Shuffle → reduce hand-off.
+	totalOut    float64
+	reducerNode []cluster.NodeID
+}
+
+// Phase is one stage of the simulated job. Each phase advances the shared
+// pipeline clock to its completion instant before returning, so the
+// driver can stamp phase barriers without knowing any phase's internals.
+type Phase interface {
+	Name() string
+	Run(jc *jobContext) error
+}
+
+// stage pairs a phase with the barrier event the driver emits after it
+// ("" emits none; the rebalance phase records its own migration event).
+type stage struct {
+	phase   Phase
+	barrier string
+}
+
+// jobPipeline is the job's phase order.
+func jobPipeline() []stage {
+	return []stage{
+		{filterPhase{}, "filter-end"},
+		{rebalancePhase{}, ""},
+		{analysisPhase{}, "map-end"},
+		{shufflePhase{}, "shuffle-end"},
+		{reducePhase{}, "reduce-end"},
+	}
+}
+
+// runPipeline drives the phases in order on the shared clock, emitting a
+// phase-barrier trace event at each phase's completion instant.
+func runPipeline(jc *jobContext) error {
+	for _, st := range jobPipeline() {
+		if err := st.phase.Run(jc); err != nil {
+			return err
+		}
+		if st.barrier != "" && jc.rec.Enabled() {
+			ev := trace.At(jc.clock.Now(), trace.EvPhase)
+			ev.Detail = st.barrier
+			jc.rec.Record(ev)
+		}
+	}
+	return nil
+}
+
+// filterPhase runs the event-driven slot simulation under the pull model,
+// with failure-aware execution (crash detection, re-replication, retry
+// with backoff on surviving replica holders) — see filter.go. The kernel
+// advances its own internal clock; the pipeline clock jumps to the filter
+// barrier once the phase completes.
+type filterPhase struct{}
+
+func (filterPhase) Name() string { return "filter" }
+
+func (filterPhase) Run(jc *jobContext) error {
+	if err := jc.fsim.run(); err != nil {
+		return err
+	}
+	jc.clock.AdvanceTo(jc.res.FilterEnd)
+	// The real application output is exactly-once per task regardless of
+	// how many attempts its block needed: the collector replays the task
+	// list (block order = file order) after the surviving outputs are
+	// known.
+	if jc.cfg.ExecuteApp {
+		for _, t := range jc.tasks {
+			jc.coll.runMap(jc.blocks[t.Index], jc.cfg)
+		}
+	}
+	return nil
+}
+
+// rebalancePhase is the optional reactive comparator (§V-A.4,
+// SkewTune-style): level the filtered workloads by migrating bytes,
+// paying the network time of the busiest endpoint, before analysis
+// starts. DataNet makes this migration unnecessary by scheduling the
+// imbalance away up front.
+type rebalancePhase struct{}
+
+func (rebalancePhase) Name() string { return "rebalance" }
+
+func (rebalancePhase) Run(jc *jobContext) error {
+	res, cfg, inj := jc.res, jc.cfg, jc.inj
+	if cfg.RebalanceAfterFilter {
+		plan := sched.PlanRebalance(res.NodeWorkload)
+		res.MigratedBytes = plan.BytesMoved
+		endpointBytes := make(map[cluster.NodeID]int64)
+		for _, mv := range plan.Moves {
+			endpointBytes[mv.From] += mv.Bytes
+			endpointBytes[mv.To] += mv.Bytes
+			res.NodeWorkload[mv.From] -= mv.Bytes
+			res.NodeWorkload[mv.To] += mv.Bytes
+		}
+		for id, bytes := range endpointBytes {
+			t := float64(bytes) / inj.NetRate(id, jc.topo.Node(id).NetRate)
+			if t > res.MigrationTime {
+				res.MigrationTime = t
+			}
+		}
+		if jc.rec.Enabled() {
+			ev := trace.At(res.FilterEnd, trace.EvPhase)
+			ev.Dur = res.MigrationTime
+			ev.Bytes = res.MigratedBytes
+			ev.Detail = "rebalance-migration"
+			jc.rec.Record(ev)
+		}
+	}
+	jc.clock.Advance(res.MigrationTime)
+	return nil
+}
+
+// analysisPhase processes the locally stored filtered data. The data
+// cannot move, so stragglers are exactly the overloaded nodes. Each node
+// runs one analysis map per filtered fragment it stored (one per filter
+// task it executed — per-task setup is therefore balanced across nodes),
+// while compute scales with its filtered bytes. The fragments are
+// page-cache-hot right after the filter pass, so the analysis map is
+// compute-bound: light applications (MovingAverage) are dominated by the
+// balanced setup term and gain little from balancing, heavy ones
+// (TopKSearch) gain the most — the Fig. 5(a)/6 gradient.
+type analysisPhase struct{}
+
+func (analysisPhase) Name() string { return "analysis" }
+
+func (analysisPhase) Run(jc *jobContext) error {
+	res, cfg, inj, topo := jc.res, jc.cfg, jc.inj, jc.topo
+	analysisStart := jc.clock.Now() // filter barrier plus any migration
+	nodeTasks := jc.fsim.nodeTasks
+	durations := make(map[cluster.NodeID]float64, topo.N())
+	for _, id := range topo.IDs() {
+		node := topo.Node(id)
+		w := res.NodeWorkload[id]
+		durations[id] = float64(nodeTasks[id])*cfg.TaskOverhead +
+			float64(w)*cfg.App.CostFactor()/inj.CPURate(id, node.CPURate)
+	}
+	// Crashes striking after the filter barrier destroy the victim's
+	// stored fragments mid-analysis; a surviving node re-reads and redoes
+	// that share (see filterSim.recoverAnalysis). Recovery is applied
+	// before speculative execution mitigates the remaining stragglers.
+	if err := jc.fsim.recoverAnalysis(analysisStart, durations); err != nil {
+		return err
+	}
+	live := make([]cluster.NodeID, 0, topo.N())
+	for _, id := range topo.IDs() {
+		if !inj.DeadAt(id, analysisStart) {
+			live = append(live, id)
+		}
+	}
+	if cfg.Speculative {
+		res.SpeculativeWins = speculate(topo, live, res.NodeWorkload, durations, cfg, inj, jc.rec, analysisStart)
+	}
+	res.FirstMapEnd = -1
+	for _, id := range topo.IDs() {
+		dur := durations[id]
+		res.NodeCompute[id] = dur
+		res.NodeBusy[id] += dur
+		end := analysisStart + dur
+		if end > res.MapEnd {
+			res.MapEnd = end
+		}
+		if res.FirstMapEnd < 0 || end < res.FirstMapEnd {
+			res.FirstMapEnd = end
+		}
+		if jc.rec.Enabled() && dur > 0 {
+			jc.rec.Record(trace.Event{T: analysisStart, Type: trace.EvAnalysisSpan,
+				Node: int(id), Block: -1, Dur: dur})
+		}
+	}
+	if res.FirstMapEnd < 0 {
+		res.FirstMapEnd = analysisStart
+	}
+	if res.MapEnd > jc.clock.Now() {
+		jc.clock.AdvanceTo(res.MapEnd)
+	}
+	return nil
+}
+
+// shufflePhase opens at the first analysis-map completion and cannot
+// close before the last (§V-A.3). Each reducer fetches its share of the
+// total map output at its NIC rate, minus whatever was produced on its
+// own node (local output never crosses the network). Placement is
+// round-robin by default; with OutputAwareReducers the reduce tasks land
+// on the highest-output nodes, maximizing that local share — the paper's
+// future-work aggregation optimization.
+type shufflePhase struct{}
+
+func (shufflePhase) Name() string { return "shuffle" }
+
+func (shufflePhase) Run(jc *jobContext) error {
+	res, cfg, inj, topo := jc.res, jc.cfg, jc.inj, jc.topo
+	var totalMatched int64
+	for _, w := range res.NodeWorkload {
+		totalMatched += w
+	}
+	jc.totalOut = float64(totalMatched) * cfg.App.OutputRatio()
+	// Reduce tasks only land on nodes alive when the shuffle opens.
+	liveAtShuffle := make([]cluster.NodeID, 0, topo.N())
+	for _, id := range topo.IDs() {
+		if !inj.DeadAt(id, res.MapEnd) {
+			liveAtShuffle = append(liveAtShuffle, id)
+		}
+	}
+	if len(liveAtShuffle) == 0 {
+		return fmt.Errorf("%w: nowhere to place reduce tasks", ErrNoLiveNodes)
+	}
+	jc.reducerNode = make([]cluster.NodeID, cfg.Reducers)
+	if cfg.OutputAwareReducers {
+		plan := sched.PlanAggregation(res.NodeWorkload, cfg.Reducers)
+		for r := range jc.reducerNode {
+			nid := plan.Aggregators[r%len(plan.Aggregators)]
+			if inj.DeadAt(nid, res.MapEnd) {
+				nid = liveAtShuffle[r%len(liveAtShuffle)]
+			}
+			jc.reducerNode[r] = nid
+		}
+	} else {
+		for r := range jc.reducerNode {
+			jc.reducerNode[r] = liveAtShuffle[r%len(liveAtShuffle)]
+		}
+	}
+	res.ShuffleDurations = make([]float64, cfg.Reducers)
+	shuffleEnd := res.MapEnd
+	for r := 0; r < cfg.Reducers; r++ {
+		nid := jc.reducerNode[r]
+		// This reducer's partition share of every node's output; the share
+		// from its own node stays local.
+		remoteOut := (jc.totalOut - float64(res.NodeWorkload[nid])*cfg.App.OutputRatio()) / float64(cfg.Reducers)
+		if remoteOut < 0 {
+			remoteOut = 0
+		}
+		xfer := remoteOut / inj.NetRate(nid, topo.Node(nid).NetRate)
+		res.ShuffleBytes += int64(remoteOut)
+		end := res.FirstMapEnd + xfer
+		if end < res.MapEnd {
+			end = res.MapEnd
+		}
+		res.ShuffleDurations[r] = end - res.FirstMapEnd
+		if end > shuffleEnd {
+			shuffleEnd = end
+		}
+		if jc.rec.Enabled() {
+			jc.rec.Record(trace.Event{T: res.FirstMapEnd, Type: trace.EvShuffleSpan,
+				Node: int(nid), Block: -1, Attempt: r,
+				Dur: end - res.FirstMapEnd, Bytes: int64(remoteOut)})
+		}
+	}
+	res.ShuffleEnd = shuffleEnd
+	jc.clock.AdvanceTo(res.ShuffleEnd)
+	return nil
+}
+
+// reducePhase runs per-reducer compute on its shuffle share and closes
+// the job's timeline.
+type reducePhase struct{}
+
+func (reducePhase) Name() string { return "reduce" }
+
+func (reducePhase) Run(jc *jobContext) error {
+	res, cfg, inj, topo := jc.res, jc.cfg, jc.inj, jc.topo
+	reduceEnd := res.ShuffleEnd
+	for r := 0; r < cfg.Reducers; r++ {
+		nid := jc.reducerNode[r]
+		vol := jc.totalOut / float64(cfg.Reducers)
+		end := res.ShuffleEnd + vol*cfg.ReduceCostFactor/inj.CPURate(nid, topo.Node(nid).CPURate)
+		if end > reduceEnd {
+			reduceEnd = end
+		}
+		if jc.rec.Enabled() {
+			jc.rec.Record(trace.Event{T: res.ShuffleEnd, Type: trace.EvReduceSpan,
+				Node: int(nid), Block: -1, Attempt: r, Dur: end - res.ShuffleEnd})
+		}
+	}
+	res.ReduceEnd = reduceEnd
+	res.JobTime = reduceEnd
+	res.AnalysisTime = reduceEnd - res.FilterEnd
+	jc.clock.AdvanceTo(res.ReduceEnd)
+	return nil
+}
+
+// speculate models Hadoop's speculative execution over the per-node
+// analysis durations: for every straggler (duration > speculationFactor ×
+// median), the node with the shortest duration offloads part of the
+// straggler's filtered fragments once it is free, re-reading them over the
+// network. The fragment split f is chosen so both finish together:
+//
+//	d_straggler·f = helperFree + overhead + (1−f)·remoteDuration
+//
+// Durations are mutated in place; the number of helped stragglers is
+// returned. This stays a *reactive* mitigation: it discovers the skew only
+// at runtime and pays network re-reads, whereas DataNet prevents the skew.
+//
+// ids restricts speculation to live nodes. Degenerate topologies are
+// handled explicitly: fewer than two candidates means no distinct helper
+// exists, an all-zero duration profile has no stragglers (median 0), and a
+// helper with non-positive effective rates would make backup attempts
+// meaningless (division by zero), so all three return zero wins untouched.
+// rec, when enabled, receives one task.speculate event per win, anchored
+// at analysisStart on the straggler's track.
+func speculate(topo *cluster.Topology, ids []cluster.NodeID, workload map[cluster.NodeID]int64, durations map[cluster.NodeID]float64, cfg Config, inj *faults.Injector, rec *trace.Recorder, analysisStart float64) int {
+	const speculationFactor = 1.5
+	if len(ids) < 2 {
+		return 0
+	}
+	sorted := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		sorted = append(sorted, durations[id])
+	}
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if median <= 0 {
+		return 0
+	}
+	// The fastest node hosts the backups, serially after its own work.
+	var helper cluster.NodeID
+	for i, id := range ids {
+		if i == 0 || durations[id] < durations[helper] {
+			helper = id
+		}
+	}
+	helperFree := durations[helper]
+	wins := 0
+	// Deterministic order: worst straggler first.
+	type cand struct {
+		id  cluster.NodeID
+		dur float64
+	}
+	var stragglers []cand
+	for _, id := range ids {
+		if id != helper && durations[id] > speculationFactor*median {
+			stragglers = append(stragglers, cand{id, durations[id]})
+		}
+	}
+	sort.Slice(stragglers, func(i, j int) bool {
+		if stragglers[i].dur != stragglers[j].dur {
+			return stragglers[i].dur > stragglers[j].dur
+		}
+		return stragglers[i].id < stragglers[j].id
+	})
+	h := topo.Node(helper)
+	helperNet := inj.NetRate(helper, h.NetRate)
+	helperCPU := inj.CPURate(helper, h.CPURate)
+	if helperNet <= 0 || helperCPU <= 0 {
+		return 0
+	}
+	for _, s := range stragglers {
+		w := float64(workload[s.id])
+		remote := w/helperNet + w*cfg.App.CostFactor()/helperCPU
+		start := helperFree + cfg.TaskOverhead
+		if s.dur+remote <= 0 {
+			continue
+		}
+		f := (start + remote) / (s.dur + remote)
+		if f >= 1 {
+			continue // the backup cannot beat the original
+		}
+		finish := s.dur * f
+		durations[s.id] = finish
+		helperFree = finish
+		wins++
+		if rec.Enabled() {
+			ev := trace.At(analysisStart+finish, trace.EvSpeculate)
+			ev.Node = int(s.id)
+			ev.Detail = fmt.Sprintf("backup on node %d", helper)
+			rec.Record(ev)
+		}
+	}
+	return wins
+}

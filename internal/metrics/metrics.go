@@ -27,7 +27,7 @@ func (t *Table) Add(cells ...string) {
 }
 
 // Addf appends a row of formatted values.
-func (t *Table) Addf(values ...interface{}) {
+func (t *Table) Addf(values ...any) {
 	cells := make([]string, len(values))
 	for i, v := range values {
 		switch x := v.(type) {

@@ -1,0 +1,44 @@
+package trace
+
+import "datanet/internal/sim"
+
+// EvKernelDeliver is the low-level kernel delivery record produced by a
+// KernelTap: one entry per event the simulation kernel delivers, in
+// delivery order. It is the schedule itself — the total order the kernel's
+// determinism contract guarantees — as opposed to the semantic timeline
+// (task starts, crashes, phase barriers) the engine records at its call
+// sites.
+const EvKernelDeliver EventType = "kernel.deliver"
+
+// KernelTap subscribes a Recorder to a simulation kernel: installed via
+// sim.Kernel.Observe, it sees every delivered event and records the
+// translation the embedding domain provides (the kernel's kinds and keys
+// are opaque integers; only the domain knows that K1 is a node id). The
+// tap records into its own recorder, kept separate from the engine's
+// semantic trace so semantic exports stay byte-identical whether or not a
+// tap is attached.
+type KernelTap struct {
+	rec   *Recorder
+	xlate func(*sim.Event) (Event, bool)
+}
+
+// NewKernelTap builds a tap recording into rec. xlate translates one
+// kernel delivery into a timeline event; returning false skips the
+// delivery. A nil xlate records bare EvKernelDeliver instants.
+func NewKernelTap(rec *Recorder, xlate func(*sim.Event) (Event, bool)) *KernelTap {
+	return &KernelTap{rec: rec, xlate: xlate}
+}
+
+// Deliver implements sim.Observer.
+func (t *KernelTap) Deliver(e *sim.Event) {
+	if t == nil || !t.rec.Enabled() {
+		return
+	}
+	if t.xlate == nil {
+		t.rec.Record(At(e.At, EvKernelDeliver))
+		return
+	}
+	if ev, ok := t.xlate(e); ok {
+		t.rec.Record(ev)
+	}
+}
