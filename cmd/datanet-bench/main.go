@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, modelcheck, aggregation, amortization, blocksize, replication, faulttol)")
+	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, modelcheck, aggregation, amortization, blocksize, replication, faulttol, detect)")
 	csvDir := flag.String("csv", "", "also write the figure series as CSV files into this directory")
 	htmlOut := flag.String("html", "", "also write a self-contained HTML report (inline SVG) to this path")
 	workers := flag.Int("parallel", 1, "worker-pool size for independent suite experiments (output is identical at any count)")
@@ -136,6 +136,8 @@ func runOne(name string) error {
 		return print(experiments.Amortization(nil))
 	case "faulttol":
 		return print(experiments.FaultTolerance(experiments.MovieParams{}))
+	case "detect":
+		return print(experiments.DetectorSweep(experiments.MovieParams{}))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -11,6 +11,7 @@
 //	datanet analyze -data reviews.dnr -sub movie-00000 -app wordcount [-sched datanet]
 //	datanet top     -data reviews.dnr [-n 10]
 //	datanet suite   [-parallel N] [-json-bench BENCH_suite.json]
+//	datanet chaos   [-runs 200] [-seed 1] [-detect heartbeat] [-shrink]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"datanet"
+	"datanet/internal/chaos"
 	"datanet/internal/elasticmap"
 	"datanet/internal/experiments"
 	"datanet/internal/records"
@@ -52,6 +54,8 @@ func main() {
 		err = runVerify(args)
 	case "suite":
 		err = runSuite(args)
+	case "chaos":
+		err = runChaos(args)
 	default:
 		usage()
 	}
@@ -62,15 +66,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: datanet <build|query|analyze|top|verify|suite> [flags]
+	fmt.Fprintln(os.Stderr, `usage: datanet <build|query|analyze|top|verify|suite|chaos> [flags]
   build   -data FILE -meta OUT [-alpha A] [-block BYTES] [-nodes N]
   query   -data FILE -sub KEY [-meta FILE]
   analyze -data FILE -sub KEY -app NAME [-sched locality|datanet|maxflow|lpt] [-skip]
           [-meta FILE] [-crash N@T[:REJOIN],...] [-slow NxF,...] [-readerr P] [-retries N]
+          [-detect oracle|heartbeat|phi] [-hb-interval S] [-hb-timeout S]
           [-trace OUT [-trace-format jsonl|chrome]] [-json]
   top     -data FILE [-n N] | -meta FILE [-n N]
   verify  -data FILE -meta FILE [-samples N]
-  suite   [-parallel N] [-json-bench FILE]`)
+  suite   [-parallel N] [-json-bench FILE]
+  chaos   [-runs N] [-seed S] [-detect heartbeat|phi|oracle] [-shrink]`)
 	os.Exit(2)
 }
 
@@ -216,6 +222,9 @@ func runAnalyze(args []string) error {
 	readErr := c.fs.Float64("readerr", 0, "transient block-read failure probability per attempt")
 	retries := c.fs.Int("retries", 0, "max attempts per task under faults (0 = default 4)")
 	faultSeed := c.fs.Int64("faultseed", 1, "seed for deterministic transient errors")
+	detectMode := c.fs.String("detect", "oracle", "failure detector: oracle | heartbeat | phi")
+	hbInterval := c.fs.Float64("hb-interval", 0, "heartbeat interval in simulated seconds (0 = default 0.5)")
+	hbTimeout := c.fs.Float64("hb-timeout", 0, "suspicion timeout in simulated seconds (0 = 3 × interval)")
 	traceOut := c.fs.String("trace", "", "write the run's event timeline to this file")
 	traceFormat := c.fs.String("trace-format", "jsonl", "timeline format: jsonl | chrome (Perfetto / chrome://tracing)")
 	jsonOut := c.fs.Bool("json", false, "emit a machine-readable JSON document (result + metrics) instead of text")
@@ -283,6 +292,11 @@ func runAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	mode, err := datanet.ParseDetectorMode(*detectMode)
+	if err != nil {
+		return err
+	}
+	detCfg := datanet.DetectorConfig{Mode: mode, Interval: *hbInterval, Timeout: *hbTimeout}
 	var rec *datanet.Trace
 	if *traceOut != "" || *jsonOut {
 		rec = datanet.NewTrace()
@@ -292,7 +306,8 @@ func runAnalyze(args []string) error {
 		App: app, Scheduler: schedID, Meta: meta, MetaErr: metaErr,
 		SkipEmpty: *skip, Execute: *execute,
 		Faults: plan, Retry: datanet.RetryPolicy{MaxAttempts: *retries},
-		Trace: rec,
+		Detect: detCfg,
+		Trace:  rec,
 	}.Run()
 	if err != nil {
 		return err
@@ -323,6 +338,21 @@ func runAnalyze(args []string) error {
 	if res.NodeCrashes > 0 || res.TasksRetried > 0 || res.TransientErrors > 0 {
 		fmt.Printf("  fault handling: %d node crashes, %d tasks retried, %d transient read errors, %d outputs lost, %d replicas repaired\n",
 			res.NodeCrashes, res.TasksRetried, res.TransientErrors, res.LostOutputs, res.ReplicasRepaired)
+	}
+	if len(res.DetectionLatency) > 0 || res.FalseSuspicions > 0 || res.DuplicateKills > 0 {
+		var sum, max float64
+		for _, l := range res.DetectionLatency {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		mean := 0.0
+		if len(res.DetectionLatency) > 0 {
+			mean = sum / float64(len(res.DetectionLatency))
+		}
+		fmt.Printf("  failure detection: %d responses (mean %.2f s, max %.2f s), %d false suspicions, %d duplicate kills\n",
+			len(res.DetectionLatency), mean, max, res.FalseSuspicions, res.DuplicateKills)
 	}
 	if res.MetadataFallback {
 		fmt.Printf("  metadata fallback: degraded to %s\n", res.SchedulerName)
@@ -516,6 +546,58 @@ func runSuite(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "datanet: benchmark report written to %s\n", *benchOut)
 	return nil
+}
+
+// runChaos drives the randomized robustness harness: N seeded fault
+// plans, every scheduler, every invariant. Violations are printed with
+// their replay seed and fail the command; -shrink additionally reduces
+// the first violating plan to a minimal counterexample.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	runs := fs.Int("runs", 100, "number of seeded fault plans to check")
+	seed := fs.Uint64("seed", 1, "base seed of the campaign (plans derive from it)")
+	detectMode := fs.String("detect", "heartbeat", "failure detector under test: oracle | heartbeat | phi")
+	shrink := fs.Bool("shrink", false, "reduce the first violating plan to a minimal counterexample")
+	fs.Parse(args)
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be at least 1")
+	}
+	mode, err := datanet.ParseDetectorMode(*detectMode)
+	if err != nil {
+		return err
+	}
+	p := chaos.DefaultParams()
+	p.Detect.Mode = mode
+	rep, err := chaos.Run(*runs, *seed, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "chaos: %d runs under %s detection (%d crashes, %d slowdowns, %d read-error runs): %d violations\n",
+		rep.Runs, mode, rep.Crashes, rep.Slowdowns, rep.ReadErrorRuns, len(rep.Violations))
+	if len(rep.Violations) == 0 {
+		return nil
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(stdout, "  %s\n", v)
+	}
+	if *shrink {
+		v := rep.Violations[0]
+		h, err := chaos.NewHarness(p)
+		if err != nil {
+			return err
+		}
+		min := chaos.Shrink(v.Plan, func(q *datanet.FaultPlan) bool {
+			for _, w := range h.CheckPlan(v.Seed, q) {
+				if w.Scheduler == v.Scheduler && w.Invariant == v.Invariant {
+					return true
+				}
+			}
+			return false
+		})
+		fmt.Fprintf(stdout, "minimal counterexample for seed %d (%s/%s):\n  %+v\n",
+			v.Seed, v.Scheduler, v.Invariant, *min)
+	}
+	return fmt.Errorf("chaos: %d invariant violations in %d runs", len(rep.Violations), rep.Runs)
 }
 
 // parseFaultPlan assembles a datanet.FaultPlan from the CLI specs:

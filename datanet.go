@@ -27,6 +27,7 @@ package datanet
 import (
 	"datanet/internal/apps"
 	"datanet/internal/cluster"
+	"datanet/internal/detect"
 	"datanet/internal/elasticmap"
 	"datanet/internal/faults"
 	"datanet/internal/hdfs"
@@ -82,6 +83,31 @@ type ReadErrors = faults.ReadErrors
 // RetryPolicy bounds task re-execution under faults (attempt cap and
 // exponential backoff in simulated time).
 type RetryPolicy = faults.RetryPolicy
+
+// DetectorConfig selects how the master learns about node crashes: the
+// historical oracle (instant knowledge), a fixed-timeout heartbeat
+// detector, or the φ-accrual adaptive variant. The zero value is the
+// oracle, preserving pre-detector behavior exactly.
+type DetectorConfig = detect.Config
+
+// DetectorMode enumerates failure-detection strategies.
+type DetectorMode = detect.Mode
+
+// Detector modes for DetectorConfig.Mode.
+const (
+	// DetectOracle reacts to crashes at the crash instant (no detection
+	// delay — the pre-detector engine behavior).
+	DetectOracle = detect.Oracle
+	// DetectHeartbeat suspects a node after a fixed number of missed
+	// heartbeats (timeout = 3 × interval unless overridden).
+	DetectHeartbeat = detect.Heartbeat
+	// DetectPhi adapts the suspicion timeout to observed heartbeat
+	// jitter (φ-accrual style).
+	DetectPhi = detect.Phi
+)
+
+// ParseDetectorMode parses "oracle", "heartbeat"/"hb" or "phi".
+func ParseDetectorMode(s string) (DetectorMode, error) { return detect.ParseMode(s) }
 
 // Trace records a run's full event timeline on the simulated clock:
 // scheduler decision audits (candidates, locality, workload vs the
@@ -283,6 +309,12 @@ type Job struct {
 	// Retry bounds task re-execution under faults; zero fields take
 	// Hadoop-like defaults (4 attempts, 0.5 s backoff, doubling).
 	Retry RetryPolicy
+	// Detect selects the failure detector. The zero value is the oracle:
+	// the master reacts to crashes instantly, as before detectors
+	// existed. Heartbeat and φ-accrual modes pay a detection delay and
+	// may falsely suspect slow nodes (reconciled by duplicate-completion
+	// dedupe).
+	Detect DetectorConfig
 	// MetaErr records that meta-data for this job failed to load (e.g. a
 	// corrupt ElasticMap encoding). The job then degrades to the locality
 	// baseline and sets Result.MetadataFallback instead of failing.
@@ -311,6 +343,7 @@ func (j Job) Run() (*Result, error) {
 		ExecuteApp: j.Execute,
 		Faults:     j.Faults,
 		Retry:      j.Retry,
+		Detect:     j.Detect,
 		WeightsErr: j.MetaErr,
 		Trace:      j.Trace,
 	})

@@ -1,0 +1,324 @@
+// Package chaos is a randomized robustness harness for the simulated
+// MapReduce engine: from one seed it derives a reproducible fault plan
+// (crashes, rejoins, degraded hardware, transient read errors), runs every
+// scheduler under the failure detector, and checks execution invariants
+// that must hold no matter what the plan did — no records silently lost,
+// workload conserved, phase timestamps monotonic, runs bit-identical on
+// replay, and makespan bounded relative to the healthy run. A violating
+// seed is a bug; the shrinker (see shrink.go) reduces its plan to a
+// minimal counterexample before a human ever looks at it.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"datanet/internal/apps"
+	"datanet/internal/cluster"
+	"datanet/internal/detect"
+	"datanet/internal/faults"
+	"datanet/internal/hdfs"
+	"datanet/internal/mapreduce"
+	"datanet/internal/records"
+	"datanet/internal/sched"
+)
+
+// Params sizes the chaos fixture and bounds the generated fault plans.
+type Params struct {
+	// Nodes, Racks, BlockSize and Records size the cluster and dataset.
+	Nodes, Racks int
+	BlockSize    int64
+	Records      int
+	// MaxCrashes and MaxSlow cap the plan's crash and slowdown entries.
+	MaxCrashes, MaxSlow int
+	// RejoinProb is the chance a crash rejoins; MaxReadErrProb caps the
+	// transient read-error probability.
+	RejoinProb, MaxReadErrProb float64
+	// Detect selects the failure-detector mode the runs execute under.
+	Detect detect.Config
+	// MakespanBound and SlackSeconds bound a faulted run's job time:
+	// JobTime ≤ healthy × MakespanBound + SlackSeconds. The additive term
+	// absorbs fixed costs (detection timeouts, retry backoff) that dwarf
+	// this small fixture's sub-second healthy makespan.
+	MakespanBound, SlackSeconds float64
+}
+
+// DefaultParams is the CI-sized configuration: an 8-node fixture small
+// enough that hundreds of seeds run in seconds.
+func DefaultParams() Params {
+	return Params{
+		Nodes: 8, Racks: 2, BlockSize: 2048, Records: 800,
+		MaxCrashes: 2, MaxSlow: 2, RejoinProb: 0.5, MaxReadErrProb: 0.15,
+		Detect:        detect.Config{Mode: detect.Heartbeat, Interval: 0.02},
+		MakespanBound: 50, SlackSeconds: 10,
+	}
+}
+
+// Violation is one invariant breach: the seed to replay it, the scheduler
+// it broke under, which invariant, and the plan that provoked it.
+type Violation struct {
+	Seed      uint64
+	Scheduler string
+	Invariant string
+	Detail    string
+	Plan      *faults.Plan
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seed=%d scheduler=%s invariant=%s: %s",
+		v.Seed, v.Scheduler, v.Invariant, v.Detail)
+}
+
+// Report summarizes one chaos campaign.
+type Report struct {
+	Runs       int
+	Violations []Violation
+	// Census of what the generated plans contained.
+	Crashes, Slowdowns, ReadErrorRuns int
+}
+
+// Harness holds the precomputed fixture — healthy reference results per
+// scheduler and the ground-truth scheduling weights — so each seed only
+// pays for its own faulted runs.
+type Harness struct {
+	p       Params
+	weights []int64
+	healthy map[string]*mapreduce.Result
+	horizon float64
+}
+
+type schedulerArm struct {
+	name  string
+	tweak func(*mapreduce.Config)
+}
+
+func (h *Harness) schedulers() []schedulerArm {
+	return []schedulerArm{
+		{"hadoop-locality", func(c *mapreduce.Config) {}},
+		{"datanet", func(c *mapreduce.Config) {
+			c.Picker = sched.NewDataNetPicker
+			c.Weights = h.weights
+		}},
+		{"speculative", func(c *mapreduce.Config) { c.Speculative = true }},
+	}
+}
+
+// chaosFS builds the fixture filesystem. The layout is a pure function of
+// the parameters, so every call yields an indistinguishable instance —
+// required because crashes mutate replica placement.
+func chaosFS(p Params) (*hdfs.FileSystem, error) {
+	topo, err := cluster.NewHomogeneous(p.Nodes, p.Racks)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := hdfs.NewFileSystem(topo, hdfs.Config{BlockSize: p.BlockSize, Replication: 3, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	var recs []records.Record
+	for i := 0; i < p.Records; i++ {
+		sub := fmt.Sprintf("bg-%d", i%9)
+		if i%4 == 0 {
+			sub = "movie-A"
+		}
+		recs = append(recs, records.Record{
+			Sub:     sub,
+			Time:    int64(i),
+			Rating:  3,
+			Payload: strings.Repeat("w ", 20),
+		})
+	}
+	if _, err := fs.Write("log", recs); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (h *Harness) baseConfig(fs *hdfs.FileSystem) mapreduce.Config {
+	return mapreduce.Config{
+		FS: fs, File: "log", TargetSub: "movie-A",
+		App: apps.WordCount{}, Picker: sched.NewLocalityPicker,
+		ExecuteApp: true,
+	}
+}
+
+// NewHarness builds the fixture and runs the fault-free reference for
+// every scheduler.
+func NewHarness(p Params) (*Harness, error) {
+	if p.Nodes == 0 {
+		p = DefaultParams()
+	}
+	h := &Harness{p: p, healthy: map[string]*mapreduce.Result{}}
+
+	// Ground-truth weights for the DataNet arm, from the block split
+	// (identical across fixture instances).
+	fs, err := chaosFS(p)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := fs.Blocks("log")
+	if err != nil {
+		return nil, err
+	}
+	h.weights = make([]int64, len(blocks))
+	for i, b := range blocks {
+		for _, r := range b.Records {
+			if r.Sub == "movie-A" {
+				h.weights[i] += r.Size()
+			}
+		}
+	}
+
+	for _, s := range h.schedulers() {
+		fs, err := chaosFS(p)
+		if err != nil {
+			return nil, err
+		}
+		cfg := h.baseConfig(fs)
+		s.tweak(&cfg)
+		res, err := mapreduce.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: healthy reference (%s): %w", s.name, err)
+		}
+		h.healthy[s.name] = res
+	}
+	h.horizon = h.healthy["hadoop-locality"].FilterEnd
+	return h, nil
+}
+
+// CheckSeed generates the seed's plan and checks it under every
+// scheduler, returning any violations.
+func (h *Harness) CheckSeed(seed uint64) ([]Violation, *faults.Plan) {
+	plan := GenPlan(seed, h.horizon, h.p)
+	return h.CheckPlan(seed, plan), plan
+}
+
+// typedFailure reports whether err is one of the engine's declared
+// failure modes — outcomes the invariants permit (data genuinely lost,
+// retries exhausted, cluster dead), as opposed to silent corruption.
+func typedFailure(err error) bool {
+	return errors.Is(err, mapreduce.ErrDataLost) ||
+		errors.Is(err, mapreduce.ErrRetriesExhausted) ||
+		errors.Is(err, mapreduce.ErrNoLiveNodes)
+}
+
+// CheckPlan runs one fault plan under every scheduler (twice each, for
+// the replay invariant) and returns every invariant breach. It is the
+// predicate the shrinker re-runs, so it must be deterministic.
+func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
+	var out []Violation
+	fail := func(sched, inv, format string, args ...any) {
+		out = append(out, Violation{
+			Seed: seed, Scheduler: sched, Invariant: inv,
+			Detail: fmt.Sprintf(format, args...), Plan: plan,
+		})
+	}
+	if err := plan.Validate(h.p.Nodes); err != nil {
+		fail("-", "plan-validate", "generated plan invalid: %v", err)
+		return out
+	}
+	for _, s := range h.schedulers() {
+		run := func() (*mapreduce.Result, error) {
+			fs, err := chaosFS(h.p)
+			if err != nil {
+				return nil, err
+			}
+			cfg := h.baseConfig(fs)
+			s.tweak(&cfg)
+			cfg.Faults = plan
+			cfg.Detect = h.p.Detect
+			return mapreduce.Run(cfg)
+		}
+		res, err := run()
+		res2, err2 := run()
+
+		// Replay: identical (seed, plan, config) must reproduce the run
+		// bit for bit — errors included.
+		if (err == nil) != (err2 == nil) || (err != nil && err.Error() != err2.Error()) {
+			fail(s.name, "replay", "errors diverge across replays: %v vs %v", err, err2)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(res, res2) {
+			fail(s.name, "replay", "results diverge across identical replays")
+			continue
+		}
+		if err != nil {
+			if !typedFailure(err) {
+				fail(s.name, "typed-error", "untyped failure: %v", err)
+			}
+			continue
+		}
+
+		healthy := h.healthy[s.name]
+		// No records lost: a run that claims success must produce the
+		// fault-free output.
+		if !reflect.DeepEqual(res.Output, healthy.Output) {
+			fail(s.name, "records-lost", "output diverges from fault-free run (%d vs %d keys)",
+				len(res.Output), len(healthy.Output))
+		}
+		// Workload conservation: recovery may move filtered bytes between
+		// nodes but never create or destroy them.
+		var want, got int64
+		for _, w := range healthy.NodeWorkload {
+			want += w
+		}
+		for _, w := range res.NodeWorkload {
+			got += w
+		}
+		if want != got {
+			fail(s.name, "workload-conservation", "filtered bytes %d, want %d", got, want)
+		}
+		// Phase timestamps must stay monotonic under any fault schedule.
+		if !(res.FilterEnd > 0 &&
+			res.FirstMapEnd >= res.FilterEnd &&
+			res.MapEnd >= res.FirstMapEnd &&
+			res.ShuffleEnd >= res.MapEnd &&
+			res.ReduceEnd >= res.ShuffleEnd &&
+			res.JobTime == res.ReduceEnd) {
+			fail(s.name, "phase-monotonic",
+				"filter=%g firstMap=%g map=%g shuffle=%g reduce=%g job=%g",
+				res.FilterEnd, res.FirstMapEnd, res.MapEnd, res.ShuffleEnd, res.ReduceEnd, res.JobTime)
+		}
+		// Detection latencies are gaps between a crash and its response:
+		// they cannot be negative, and under a non-oracle detector they
+		// cannot be zero.
+		for _, l := range res.DetectionLatency {
+			if l < 0 || (h.p.Detect.Mode != detect.Oracle && l == 0) {
+				fail(s.name, "detect-latency", "latency %g out of range", l)
+			}
+		}
+		// A successful run must finish in bounded time relative to the
+		// healthy run — a "recovered" job that took forever is a hang.
+		bound := healthy.JobTime*h.p.MakespanBound + h.p.SlackSeconds
+		if res.JobTime > bound {
+			fail(s.name, "makespan-bound", "job time %g exceeds %g (healthy %g)",
+				res.JobTime, bound, healthy.JobTime)
+		}
+	}
+	return out
+}
+
+// Run executes a chaos campaign: runs seeds derived from the base seed,
+// checking every invariant under every scheduler.
+func Run(runs int, seed uint64, p Params) (*Report, error) {
+	h, err := NewHarness(p)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	r := newRNG(seed)
+	for i := 0; i < runs; i++ {
+		runSeed := r.next()
+		vs, plan := h.CheckSeed(runSeed)
+		rep.Runs++
+		rep.Crashes += len(plan.Crashes)
+		rep.Slowdowns += len(plan.Slow)
+		if plan.Read.Prob > 0 {
+			rep.ReadErrorRuns++
+		}
+		rep.Violations = append(rep.Violations, vs...)
+	}
+	return rep, nil
+}

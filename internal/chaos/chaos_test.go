@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"datanet/internal/faults"
+)
+
+// Every generated plan must pass the hardened faults.Plan.Validate: the
+// generator guarantees one crash window per node and in-range factors.
+func TestGenPlanAlwaysValid(t *testing.T) {
+	p := DefaultParams()
+	r := newRNG(99)
+	for i := 0; i < 500; i++ {
+		seed := r.next()
+		plan := GenPlan(seed, 0.2, p)
+		if err := plan.Validate(p.Nodes); err != nil {
+			t.Fatalf("seed %d generated invalid plan: %v\n%+v", seed, err, plan)
+		}
+	}
+}
+
+func TestGenPlanDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a := GenPlan(12345, 0.2, p)
+	b := GenPlan(12345, 0.2, p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// The harness itself: a campaign over the default fixture must find zero
+// violations — the engine's recovery paths uphold every invariant under
+// randomized crash/rejoin/slowdown/read-error schedules.
+func TestChaosCampaignZeroViolations(t *testing.T) {
+	runs := 40
+	if testing.Short() {
+		runs = 10
+	}
+	rep, err := Run(runs, 1, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != runs {
+		t.Errorf("Runs = %d, want %d", rep.Runs, runs)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s\nplan: %+v", v, v.Plan)
+	}
+	// The campaign must actually have exercised faults, or zero
+	// violations proves nothing.
+	if rep.Crashes == 0 {
+		t.Error("campaign generated no crashes")
+	}
+	if rep.Slowdowns == 0 {
+		t.Error("campaign generated no slowdowns")
+	}
+	if rep.ReadErrorRuns == 0 {
+		t.Error("campaign generated no read-error runs")
+	}
+}
+
+// CheckSeed must be deterministic — the property that makes a reported
+// seed replayable and the shrinker's predicate stable.
+func TestCheckSeedReplayable(t *testing.T) {
+	h, err := NewHarness(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, p1 := h.CheckSeed(7)
+	v2, p2 := h.CheckSeed(7)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("CheckSeed generated different plans for the same seed")
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("CheckSeed verdicts diverge: %v vs %v", v1, v2)
+	}
+}
+
+// The shrinker must reduce a seeded violating plan to a minimal
+// counterexample. The engine currently upholds every invariant, so the
+// "violation" here is a synthetic predicate with a known minimal core:
+// a crash on node 3 together with any read errors. Whatever else the
+// seeded plan contains must be stripped.
+func TestShrinkToMinimalCounterexample(t *testing.T) {
+	p := DefaultParams()
+	// Find a seeded plan that actually contains the core (plus noise).
+	var plan *faults.Plan
+	r := newRNG(5)
+	for i := 0; i < 10000; i++ {
+		cand := GenPlan(r.next(), 0.2, p)
+		hasCrash3 := false
+		for _, c := range cand.Crashes {
+			if c.Node == 3 {
+				hasCrash3 = true
+			}
+		}
+		if hasCrash3 && cand.Read.Prob > 0 && planEntries(cand) >= 4 {
+			plan = cand
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatal("no seed produced a plan with the synthetic core plus noise")
+	}
+	fails := func(q *faults.Plan) bool {
+		if q.Read.Prob <= 0 {
+			return false
+		}
+		for _, c := range q.Crashes {
+			if c.Node == 3 {
+				return true
+			}
+		}
+		return false
+	}
+	calls := 0
+	min := Shrink(plan, func(q *faults.Plan) bool { calls++; return fails(q) })
+	if !fails(min) {
+		t.Fatal("shrunk plan no longer fails")
+	}
+	if n := planEntries(min); n > 2 {
+		t.Errorf("shrunk plan has %d entries, want ≤2: %+v", n, min)
+	}
+	if len(min.Crashes) != 1 || min.Crashes[0].Node != 3 {
+		t.Errorf("shrunk crashes = %+v, want exactly the node-3 crash", min.Crashes)
+	}
+	if min.Crashes[0].RejoinAt != 0 {
+		t.Errorf("shrinker kept an unnecessary rejoin: %+v", min.Crashes[0])
+	}
+	if min.Read.Prob <= 0 {
+		t.Error("shrinker dropped the necessary read-error clause")
+	}
+	if calls == 0 {
+		t.Error("predicate never invoked")
+	}
+	// The original plan must be untouched (shrinking works on clones).
+	if planEntries(plan) < 4 {
+		t.Error("Shrink mutated its input plan")
+	}
+}
+
+// A plan that does not fail is returned unchanged.
+func TestShrinkPassThrough(t *testing.T) {
+	plan := GenPlan(1, 0.2, DefaultParams())
+	got := Shrink(plan, func(*faults.Plan) bool { return false })
+	if got != plan {
+		t.Error("Shrink of a non-failing plan should return it unchanged")
+	}
+}
+
+func TestRNGStability(t *testing.T) {
+	// splitmix64 known-answer test: the stream is part of the replay
+	// contract, so a refactor that changes it must fail loudly.
+	r := newRNG(1)
+	want := []uint64{0x910a2dec89025cc1, 0xbeeb8da1658eec67, 0xf893a2eefb32555e}
+	for i, w := range want {
+		if got := r.next(); got != w {
+			t.Fatalf("next()[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"testing"
+
+	"datanet/internal/faults"
+)
+
+// FuzzPlan drives the plan generator with arbitrary seeds and horizons:
+// every output must pass the hardened faults.Plan.Validate, respect the
+// configured entry caps, and regenerate identically from the same seed.
+func FuzzPlan(f *testing.F) {
+	f.Add(uint64(1), 0.2)
+	f.Add(uint64(0), 0.0)
+	f.Add(uint64(0xdeadbeef), 1e6)
+	f.Add(^uint64(0), 1e-9)
+	p := DefaultParams()
+	f.Fuzz(func(t *testing.T, seed uint64, horizon float64) {
+		if horizon < 0 || horizon > 1e9 || horizon != horizon {
+			t.Skip("horizon outside the domain the harness derives")
+		}
+		plan := GenPlan(seed, horizon, p)
+		if err := plan.Validate(p.Nodes); err != nil {
+			t.Fatalf("seed %d horizon %g: invalid plan: %v\n%+v", seed, horizon, err, plan)
+		}
+		if len(plan.Crashes) > p.MaxCrashes || len(plan.Slow) > p.MaxSlow {
+			t.Fatalf("plan exceeds entry caps: %+v", plan)
+		}
+		if plan.Read.Prob >= 1 {
+			t.Fatalf("read-error probability %g out of range", plan.Read.Prob)
+		}
+		again := GenPlan(seed, horizon, p)
+		if !plansEqual(plan, again) {
+			t.Fatalf("plan generation not deterministic for seed %d", seed)
+		}
+	})
+}
+
+func plansEqual(a, b *faults.Plan) bool {
+	if a.Seed != b.Seed || a.Read != b.Read ||
+		len(a.Crashes) != len(b.Crashes) || len(a.Slow) != len(b.Slow) {
+		return false
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			return false
+		}
+	}
+	for i := range a.Slow {
+		if a.Slow[i] != b.Slow[i] {
+			return false
+		}
+	}
+	return true
+}

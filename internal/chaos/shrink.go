@@ -1,0 +1,80 @@
+package chaos
+
+import "datanet/internal/faults"
+
+// Failing reports whether a plan still provokes the violation being
+// minimized. Shrink re-runs it many times; it must be deterministic.
+type Failing func(*faults.Plan) bool
+
+// clonePlan deep-copies a plan so candidate edits never alias the
+// original's slices.
+func clonePlan(p *faults.Plan) *faults.Plan {
+	q := &faults.Plan{Seed: p.Seed, Read: p.Read}
+	q.Crashes = append([]faults.Crash(nil), p.Crashes...)
+	q.Slow = append([]faults.Slowdown(nil), p.Slow...)
+	return q
+}
+
+// Shrink greedily minimizes a failing plan: it repeatedly tries removing
+// one entry (a crash, a slowdown, or the read-error clause) and keeps any
+// candidate that still fails, until no single removal preserves the
+// failure. A second pass simplifies what remains — dropping rejoins so
+// surviving crashes are plain permanent kills. The result is a local
+// minimum: every entry left is necessary to reproduce the violation.
+//
+// This is delta debugging with step size 1, which is enough here: plans
+// have at most a handful of entries, and the expensive part is the
+// engine runs inside fails, not the candidate count.
+func Shrink(plan *faults.Plan, fails Failing) *faults.Plan {
+	if !fails(plan) {
+		return plan
+	}
+	cur := clonePlan(plan)
+	for shrinkStep(cur, fails, &cur) {
+	}
+	return cur
+}
+
+// shrinkStep tries every single-edit simplification of cur; on the first
+// one that still fails it writes the candidate through out and reports
+// progress.
+func shrinkStep(cur *faults.Plan, fails Failing, out **faults.Plan) bool {
+	for i := range cur.Crashes {
+		cand := clonePlan(cur)
+		cand.Crashes = append(cand.Crashes[:i], cand.Crashes[i+1:]...)
+		if fails(cand) {
+			*out = cand
+			return true
+		}
+	}
+	for i := range cur.Slow {
+		cand := clonePlan(cur)
+		cand.Slow = append(cand.Slow[:i], cand.Slow[i+1:]...)
+		if fails(cand) {
+			*out = cand
+			return true
+		}
+	}
+	if cur.Read.Prob > 0 {
+		cand := clonePlan(cur)
+		cand.Read.Prob = 0
+		if fails(cand) {
+			*out = cand
+			return true
+		}
+	}
+	// Entry-level removal is exhausted; simplify surviving crashes by
+	// dropping their rejoin (a permanent kill is the simpler fault).
+	for i := range cur.Crashes {
+		if cur.Crashes[i].RejoinAt == 0 {
+			continue
+		}
+		cand := clonePlan(cur)
+		cand.Crashes[i].RejoinAt = 0
+		if fails(cand) {
+			*out = cand
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,364 @@
+// Package detect is a heartbeat-based failure detector for the simulated
+// MapReduce master. The engine historically learned of node deaths from
+// the fault injector itself — an oracle with zero detection latency. Real
+// masters infer death from missed heartbeats, pay a timeout before
+// reacting, and sometimes condemn nodes that were merely slow. This
+// package models that honestly, on the same deterministic sim kernel the
+// filter phase runs on.
+//
+// Two detector variants share one state machine:
+//
+//   - Heartbeat: a fixed timeout of K missed beats (Timeout = K·Interval).
+//     A node whose hardware runs slower than 1/K of rated speed beats less
+//     often than the timeout allows and is falsely suspected — the classic
+//     straggler/failure ambiguity.
+//   - Phi: a φ-accrual-style adaptive timeout. The detector tracks each
+//     node's observed inter-arrival gap (EWMA) and suspects only after
+//     PhiFactor times that gap, so a consistently slow node earns a longer
+//     leash after a warmup beat or two instead of being condemned forever.
+//
+// The detector owns *belief*, never truth: it reads the injector only the
+// way a real network would (a dead node's beats do not arrive; a slowed
+// node's beats arrive late). The engine reacts to the detector's Suspect/
+// Clear transitions; the gap between a crash and its Suspect call is the
+// detection latency the oracle mode never paid.
+//
+// State machine per node:
+//
+//	Live ──(timeout matures with no beat)──▶ Suspected
+//	Suspected ──(a beat arrives: rejoin or false alarm)──▶ Live
+//
+// A permanently dead node simply stays Suspected; "dead" is not a detector
+// state because the master can never distinguish it from "very late".
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"datanet/internal/cluster"
+	"datanet/internal/sim"
+)
+
+// Mode selects how the master learns of failures.
+type Mode int
+
+const (
+	// Oracle is the historical behavior: the engine reads the injector
+	// directly and reacts to crashes at the crash instant. No Detector is
+	// constructed in this mode; it exists so configurations can say
+	// "detect.Oracle" explicitly and golden schedules stay byte-identical.
+	Oracle Mode = iota
+	// Heartbeat suspects after a fixed timeout of K missed beats.
+	Heartbeat
+	// Phi adapts the timeout to each node's observed beat cadence.
+	Phi
+)
+
+// String names the mode as the CLI spells it.
+func (m Mode) String() string {
+	switch m {
+	case Oracle:
+		return "oracle"
+	case Heartbeat:
+		return "heartbeat"
+	case Phi:
+		return "phi"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ErrBadConfig reports an invalid detector configuration.
+var ErrBadConfig = errors.New("detect: invalid config")
+
+// ParseMode parses a CLI mode name.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "oracle", "":
+		return Oracle, nil
+	case "heartbeat", "hb":
+		return Heartbeat, nil
+	case "phi":
+		return Phi, nil
+	}
+	return Oracle, fmt.Errorf("%w: unknown mode %q (want oracle, heartbeat or phi)", ErrBadConfig, s)
+}
+
+// Default detector parameters: beats every half second of simulated time,
+// suspicion after three missed beats — Hadoop-like proportions scaled to
+// the simulation's task durations.
+const (
+	DefaultInterval  = 0.5
+	DefaultMissed    = 3
+	DefaultPhiFactor = 3
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	// Mode selects oracle, heartbeat or phi detection.
+	Mode Mode
+	// Interval is the heartbeat period of a healthy node, in simulated
+	// seconds. Slowed nodes beat proportionally less often (their CPU runs
+	// the heartbeat loop too). Zero selects DefaultInterval.
+	Interval float64
+	// Timeout is the fixed suspicion timeout of Heartbeat mode: a node is
+	// suspected when Timeout elapses since its last beat. Zero selects
+	// DefaultMissed × Interval.
+	Timeout float64
+	// PhiFactor scales the adaptive timeout of Phi mode: a node is
+	// suspected when PhiFactor × its observed mean beat gap elapses since
+	// its last beat. Zero selects DefaultPhiFactor.
+	PhiFactor float64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultMissed * c.Interval
+	}
+	if c.PhiFactor <= 0 {
+		c.PhiFactor = DefaultPhiFactor
+	}
+	return c
+}
+
+// Validate rejects non-finite or non-positive parameters.
+func (c Config) Validate() error {
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{{"interval", c.Interval}, {"timeout", c.Timeout}, {"phi-factor", c.PhiFactor}} {
+		if v.v <= 0 || math.IsNaN(v.v) || math.IsInf(v.v, 0) {
+			return fmt.Errorf("%w: %s %v must be positive and finite", ErrBadConfig, v.name, v.v)
+		}
+	}
+	if c.Mode != Oracle && c.Mode != Heartbeat && c.Mode != Phi {
+		return fmt.Errorf("%w: unknown mode %d", ErrBadConfig, int(c.Mode))
+	}
+	return nil
+}
+
+// Truth is the slice of the fault injector the detector's *physics*
+// depend on: whether a node's beat can physically be emitted at an
+// instant, when a dead node restarts, and how slow its hardware runs.
+// The detector never exposes these answers to the master's belief — it
+// only uses them to decide which beats arrive, and when.
+type Truth interface {
+	DeadAt(id cluster.NodeID, t float64) bool
+	RejoinAfter(id cluster.NodeID, t float64) (float64, bool)
+	CPURate(id cluster.NodeID, base float64) float64
+}
+
+// State is a node's belief state at the master.
+type State uint8
+
+const (
+	// Live means beats are arriving on time.
+	Live State = iota
+	// Suspected means the node's timeout matured with no beat; the master
+	// treats it as dead until a beat proves otherwise.
+	Suspected
+)
+
+// Hooks are the engine's reactions to detector transitions. All are
+// optional; a non-nil error aborts the kernel run. Beat fires on every
+// arriving beat (after the node's belief state is updated, before Clear),
+// so the engine can treat a restarted node's first beat as its
+// re-registration. Suspect fires on Live→Suspected, Clear on
+// Suspected→Live.
+type Hooks struct {
+	Beat    func(id cluster.NodeID, t float64) error
+	Suspect func(id cluster.NodeID, t float64) error
+	Clear   func(id cluster.NodeID, t float64) error
+}
+
+// nodeState is the per-node detector bookkeeping.
+type nodeState struct {
+	state    State
+	lastBeat float64
+	// meanGap is the EWMA of observed inter-beat gaps (phi mode's jitter
+	// estimate), seeded with the configured interval.
+	meanGap float64
+	// armGen invalidates stale timeout events: each arriving beat re-arms
+	// the timeout and bumps the generation.
+	armGen int
+}
+
+// Detector runs the heartbeat protocol for every node of one job.
+type Detector struct {
+	cfg     Config
+	truth   Truth
+	ns      []nodeState
+	kern    *sim.Kernel
+	beat    sim.Kind
+	timeout sim.Kind
+	hooks   Hooks
+	// Suspicions counts Live→Suspected transitions (true and false).
+	Suspicions int
+}
+
+// New builds a detector for n nodes. cfg must describe a non-oracle mode
+// (the oracle needs no detector).
+func New(cfg Config, truth Truth, n int) (*Detector, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == Oracle {
+		return nil, fmt.Errorf("%w: oracle mode needs no detector", ErrBadConfig)
+	}
+	d := &Detector{cfg: cfg, truth: truth, ns: make([]nodeState, n)}
+	for i := range d.ns {
+		d.ns[i].meanGap = cfg.Interval
+	}
+	return d, nil
+}
+
+// SetHooks installs the engine's transition callbacks.
+func (d *Detector) SetHooks(h Hooks) { d.hooks = h }
+
+// Interval returns the configured heartbeat period.
+func (d *Detector) Interval() float64 { return d.cfg.Interval }
+
+// Mode returns the configured detection mode.
+func (d *Detector) Mode() Mode { return d.cfg.Mode }
+
+// State returns the master's belief about the node.
+func (d *Detector) State(id cluster.NodeID) State { return d.ns[id].state }
+
+// Assignable reports whether the master will hand the node work: only
+// nodes believed live get assignments.
+func (d *Detector) Assignable(id cluster.NodeID) bool { return d.ns[id].state == Live }
+
+// period is the node's actual beat period: the configured interval
+// stretched by the node's CPU slowdown (a degraded machine runs its
+// heartbeat loop slower too — that is exactly the ambiguity the φ
+// variant exists to absorb).
+func (d *Detector) period(id cluster.NodeID) float64 {
+	f := d.truth.CPURate(id, 1)
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	return d.cfg.Interval / f
+}
+
+// timeoutFor is the node's current suspicion timeout.
+func (d *Detector) timeoutFor(id cluster.NodeID) float64 {
+	if d.cfg.Mode == Phi {
+		to := d.cfg.PhiFactor * d.ns[id].meanGap
+		if to < d.cfg.Interval {
+			to = d.cfg.Interval
+		}
+		return to
+	}
+	return d.cfg.Timeout
+}
+
+// Bind registers the detector's handlers on the kernel and posts every
+// node's first beat and first timeout. beatKind/timeoutKind are kernel
+// event kinds owned by the caller; prio orders detector events against the
+// caller's own (beats deliver at prio, timeouts at prio+1, so a beat
+// arriving exactly at its timeout instant clears the node first).
+// Registration is the job start: every node is believed live at t=0.
+func (d *Detector) Bind(k *sim.Kernel, beatKind, timeoutKind sim.Kind, prio int8) {
+	d.kern = k
+	d.beat = beatKind
+	d.timeout = timeoutKind
+	k.Handle(beatKind, d.onBeat)
+	k.Handle(timeoutKind, d.onTimeout)
+	for i := range d.ns {
+		id := cluster.NodeID(i)
+		k.Post(sim.Event{At: d.period(id), Kind: beatKind, Prio: prio, K1: int64(id)})
+		k.Post(sim.Event{At: d.timeoutFor(id), Kind: timeoutKind, Prio: prio + 1,
+			K1: int64(id), Payload: 0})
+	}
+}
+
+// onBeat delivers one node's heartbeat instant. If the node is physically
+// dead the beat never arrives; the chain re-anchors at the node's restart
+// (its first beat after rejoining doubles as re-registration). A live
+// node's beat updates the gap estimate, re-arms the timeout, clears any
+// suspicion, and schedules the next beat.
+func (d *Detector) onBeat(ev *sim.Event) error {
+	id := cluster.NodeID(ev.K1)
+	t := ev.At
+	if d.truth.DeadAt(id, t) {
+		if rj, ok := d.truth.RejoinAfter(id, t); ok {
+			d.kern.Post(sim.Event{At: rj, Kind: d.beat, Prio: ev.Prio, K1: ev.K1})
+		}
+		return nil // the beat was never sent; the timeout will mature
+	}
+	st := &d.ns[id]
+	gap := t - st.lastBeat
+	// EWMA with α=1/2: adapts within a couple of beats, still smooths
+	// one-off hiccups. Deterministic, like everything on this clock.
+	st.meanGap = (st.meanGap + gap) / 2
+	st.lastBeat = t
+	st.armGen++
+	d.kern.Post(sim.Event{At: t + d.timeoutFor(id), Kind: d.timeout, Prio: ev.Prio + 1,
+		K1: ev.K1, Payload: st.armGen})
+	wasSuspected := st.state == Suspected
+	st.state = Live
+	if d.hooks.Beat != nil {
+		if err := d.hooks.Beat(id, t); err != nil {
+			return err
+		}
+	}
+	if wasSuspected && d.hooks.Clear != nil {
+		if err := d.hooks.Clear(id, t); err != nil {
+			return err
+		}
+	}
+	d.kern.Post(sim.Event{At: t + d.period(id), Kind: d.beat, Prio: ev.Prio, K1: ev.K1})
+	return nil
+}
+
+// onTimeout matures one armed suspicion timeout. A beat since arming
+// bumped the generation and this event is stale; otherwise the node
+// missed its deadline and is suspected.
+func (d *Detector) onTimeout(ev *sim.Event) error {
+	id := cluster.NodeID(ev.K1)
+	st := &d.ns[id]
+	if ev.Payload.(int) != st.armGen {
+		return nil // re-armed by a later beat
+	}
+	if st.state == Suspected {
+		return nil
+	}
+	st.state = Suspected
+	d.Suspicions++
+	if d.hooks.Suspect != nil {
+		return d.hooks.Suspect(id, ev.At)
+	}
+	return nil
+}
+
+// ResponseAt predicts when the master would learn of a crash at crashAt,
+// for crashes striking after the kernel loop has drained (the analysis
+// phase runs on closed-form durations, not events). The node's beat chain
+// continues at its period from the last observed beat; the last beat
+// strictly before the crash plus the node's current timeout is the
+// suspicion instant. The result never precedes the crash.
+func (d *Detector) ResponseAt(id cluster.NodeID, crashAt float64) float64 {
+	if d == nil {
+		return crashAt // oracle: the master reacts instantly
+	}
+	st := d.ns[id]
+	p := d.period(id)
+	last := st.lastBeat
+	if crashAt > last {
+		last += math.Floor((crashAt-last)/p) * p
+		if last >= crashAt {
+			last -= p // a beat at the crash instant is never sent
+		}
+	}
+	rt := last + d.timeoutFor(id)
+	if rt < crashAt {
+		rt = crashAt
+	}
+	return rt
+}

@@ -1,0 +1,226 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"datanet/internal/cluster"
+	"datanet/internal/sim"
+)
+
+const (
+	kBeat sim.Kind = iota
+	kTimeout
+	kStop
+)
+
+// fakeTruth scripts one node's physical fate; all other nodes are healthy.
+type fakeTruth struct {
+	node     cluster.NodeID
+	crashAt  float64
+	rejoinAt float64 // <= crashAt means permanent; 0 with crashAt 0 means healthy
+	cpu      map[cluster.NodeID]float64
+	crashed  bool
+}
+
+func (f *fakeTruth) DeadAt(id cluster.NodeID, t float64) bool {
+	if !f.crashed || id != f.node || t < f.crashAt {
+		return false
+	}
+	return f.rejoinAt <= f.crashAt || t < f.rejoinAt
+}
+
+func (f *fakeTruth) RejoinAfter(id cluster.NodeID, t float64) (float64, bool) {
+	if !f.crashed || id != f.node || f.rejoinAt <= f.crashAt {
+		return 0, false
+	}
+	if f.rejoinAt > t {
+		return f.rejoinAt, true
+	}
+	return 0, false
+}
+
+func (f *fakeTruth) CPURate(id cluster.NodeID, base float64) float64 {
+	if s, ok := f.cpu[id]; ok {
+		return base * s
+	}
+	return base
+}
+
+// harness runs a detector over n nodes until simulated time end.
+type harness struct {
+	det      *Detector
+	kern     *sim.Kernel
+	suspects []struct {
+		id cluster.NodeID
+		t  float64
+	}
+	clears []struct {
+		id cluster.NodeID
+		t  float64
+	}
+	beats int
+}
+
+func newHarness(t *testing.T, cfg Config, truth Truth, n int, end float64) *harness {
+	t.Helper()
+	det, err := New(cfg, truth, n)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h := &harness{det: det, kern: sim.New(nil)}
+	det.SetHooks(Hooks{
+		Beat: func(id cluster.NodeID, at float64) error { h.beats++; return nil },
+		Suspect: func(id cluster.NodeID, at float64) error {
+			h.suspects = append(h.suspects, struct {
+				id cluster.NodeID
+				t  float64
+			}{id, at})
+			return nil
+		},
+		Clear: func(id cluster.NodeID, at float64) error {
+			h.clears = append(h.clears, struct {
+				id cluster.NodeID
+				t  float64
+			}{id, at})
+			return nil
+		},
+	})
+	det.Bind(h.kern, kBeat, kTimeout, 2)
+	h.kern.Handle(kStop, func(*sim.Event) error { h.kern.Stop(); return nil })
+	h.kern.Post(sim.Event{At: end, Kind: kStop, Prio: 100})
+	if err := h.kern.Run(); err != nil {
+		t.Fatalf("kernel run: %v", err)
+	}
+	return h
+}
+
+func TestHealthyClusterNeverSuspected(t *testing.T) {
+	h := newHarness(t, Config{Mode: Heartbeat}, &fakeTruth{}, 4, 20)
+	if len(h.suspects) != 0 {
+		t.Fatalf("healthy cluster produced %d suspicions: %+v", len(h.suspects), h.suspects)
+	}
+	if h.beats == 0 {
+		t.Fatal("no beats delivered")
+	}
+	for id := 0; id < 4; id++ {
+		if !h.det.Assignable(cluster.NodeID(id)) {
+			t.Fatalf("node %d not assignable on a healthy cluster", id)
+		}
+	}
+}
+
+func TestCrashSuspectedAfterTimeout(t *testing.T) {
+	// Interval 0.5, timeout 1.5. Crash at 1.3: last beat at 1.0, so the
+	// suspicion matures at 2.5 — detection latency 1.2.
+	truth := &fakeTruth{node: 1, crashAt: 1.3, crashed: true}
+	h := newHarness(t, Config{Mode: Heartbeat}, truth, 3, 10)
+	if len(h.suspects) != 1 {
+		t.Fatalf("want exactly 1 suspicion, got %+v", h.suspects)
+	}
+	s := h.suspects[0]
+	if s.id != 1 {
+		t.Fatalf("suspected node %d, want 1", s.id)
+	}
+	if want := 2.5; math.Abs(s.t-want) > 1e-9 {
+		t.Fatalf("suspicion at %v, want %v (last beat 1.0 + timeout 1.5)", s.t, want)
+	}
+	if s.t <= truth.crashAt {
+		t.Fatalf("suspicion at %v not strictly after the crash at %v", s.t, truth.crashAt)
+	}
+	if h.det.Assignable(1) {
+		t.Fatal("suspected node still assignable")
+	}
+	if !h.det.Assignable(0) || !h.det.Assignable(2) {
+		t.Fatal("healthy nodes lost assignability")
+	}
+}
+
+func TestRejoinClearsSuspicion(t *testing.T) {
+	truth := &fakeTruth{node: 2, crashAt: 1.3, rejoinAt: 4.0, crashed: true}
+	h := newHarness(t, Config{Mode: Heartbeat}, truth, 3, 10)
+	if len(h.suspects) != 1 || h.suspects[0].id != 2 {
+		t.Fatalf("suspicions: %+v", h.suspects)
+	}
+	if len(h.clears) != 1 || h.clears[0].id != 2 {
+		t.Fatalf("clears: %+v", h.clears)
+	}
+	// The restarted node's first beat is at the rejoin instant.
+	if want := 4.0; math.Abs(h.clears[0].t-want) > 1e-9 {
+		t.Fatalf("cleared at %v, want %v", h.clears[0].t, want)
+	}
+	if !h.det.Assignable(2) {
+		t.Fatal("rejoined node not assignable")
+	}
+}
+
+// TestPhiAdaptsToSlowNode is the detector's reason to exist: a node at 20%
+// CPU beats every 2.5 s against a fixed 1.5 s timeout, so the fixed
+// detector condemns it again after every beat, while φ-accrual widens its
+// leash after the warmup and stops flapping.
+func TestPhiAdaptsToSlowNode(t *testing.T) {
+	slow := func() Truth {
+		return &fakeTruth{cpu: map[cluster.NodeID]float64{1: 0.2}}
+	}
+	fixed := newHarness(t, Config{Mode: Heartbeat}, slow(), 3, 30)
+	phi := newHarness(t, Config{Mode: Phi}, slow(), 3, 30)
+
+	for _, s := range fixed.suspects {
+		if s.id != 1 {
+			t.Fatalf("fixed detector suspected healthy node %d", s.id)
+		}
+	}
+	if len(fixed.suspects) < 3 {
+		t.Fatalf("fixed detector should flap on the slow node, got %d suspicions", len(fixed.suspects))
+	}
+	// φ pays at most the warmup false alarm (the prior gap estimate is the
+	// healthy interval), then adapts and stays quiet.
+	if len(phi.suspects) > 1 {
+		t.Fatalf("phi detector flapped %d times on a merely slow node: %+v", len(phi.suspects), phi.suspects)
+	}
+	if len(phi.suspects) == 1 && len(phi.clears) != 1 {
+		t.Fatalf("phi warmup suspicion never cleared: %+v", phi.clears)
+	}
+}
+
+func TestResponseAtAnalytic(t *testing.T) {
+	truth := &fakeTruth{}
+	h := newHarness(t, Config{Mode: Heartbeat}, truth, 2, 10.25)
+	// Last delivered beat ≤ 10.25 is at 10.0. A crash at 17.2 projects the
+	// chain forward: last beat before the crash at 17.0, response 18.5.
+	got := h.det.ResponseAt(0, 17.2)
+	if want := 18.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ResponseAt = %v, want %v", got, want)
+	}
+	// A beat exactly at the crash instant is never sent.
+	got = h.det.ResponseAt(0, 17.0)
+	if want := 18.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ResponseAt at beat-coincident crash = %v, want %v", got, want)
+	}
+	// The nil detector is the oracle.
+	var nilDet *Detector
+	if got := nilDet.ResponseAt(0, 3.25); got != 3.25 {
+		t.Fatalf("nil ResponseAt = %v, want crash instant", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Mode: Oracle}, &fakeTruth{}, 2); err == nil {
+		t.Fatal("oracle mode must not build a detector")
+	}
+	if _, err := New(Config{Mode: Heartbeat, Interval: math.Inf(1)}, &fakeTruth{}, 2); err == nil {
+		t.Fatal("infinite interval accepted")
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	for _, s := range []string{"oracle", "heartbeat", "phi"} {
+		m, err := ParseMode(s)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", s, err)
+		}
+		if m.String() != s {
+			t.Fatalf("round-trip %q -> %q", s, m.String())
+		}
+	}
+}

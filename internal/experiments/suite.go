@@ -136,6 +136,10 @@ func suiteSections() []suiteSection {
 			r, err := FaultTolerance(MovieParams{})
 			return r, err
 		}},
+		{"detector-latency", false, func(*Env) (fmt.Stringer, error) {
+			r, err := DetectorSweep(MovieParams{})
+			return r, err
+		}},
 	}
 }
 

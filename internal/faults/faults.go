@@ -90,6 +90,28 @@ func (p *Plan) Validate(n int) error {
 			return fmt.Errorf("%w: rejoin time %v", ErrBadPlan, c.RejoinAt)
 		}
 	}
+	// Two crash windows covering the same instant would double-fire kernel
+	// crash events for the node; a node may only crash again after it has
+	// rejoined. Sort per-node windows by start and require each to begin at
+	// or after the previous one's rejoin (a permanent crash ends never).
+	byNode := map[cluster.NodeID][]Crash{}
+	for _, c := range p.Crashes {
+		byNode[c.Node] = append(byNode[c.Node], c)
+	}
+	for id, cs := range byNode {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].At < cs[j].At })
+		for i := 1; i < len(cs); i++ {
+			prev := cs[i-1]
+			if prev.permanent() {
+				return fmt.Errorf("%w: node %d crashes at %v after permanent crash at %v",
+					ErrBadPlan, id, cs[i].At, prev.At)
+			}
+			if cs[i].At < prev.RejoinAt {
+				return fmt.Errorf("%w: node %d crash windows overlap ([%v,%v) and [%v,...))",
+					ErrBadPlan, id, prev.At, prev.RejoinAt, cs[i].At)
+			}
+		}
+	}
 	for _, s := range p.Slow {
 		if int(s.Node) < 0 || int(s.Node) >= n {
 			return fmt.Errorf("%w: slowdown node %d out of range [0,%d)", ErrBadPlan, s.Node, n)
@@ -140,12 +162,17 @@ type RetryPolicy struct {
 	// Backoff is the delay before the first retry, in simulated seconds;
 	// each further retry doubles it. Zero selects DefaultBackoff.
 	Backoff float64
+	// MaxDelay caps the exponential backoff; without it, large attempt
+	// numbers overflow 2^(n−1) to +Inf and park retries forever. Zero
+	// selects DefaultMaxDelay.
+	MaxDelay float64
 }
 
 // Default retry parameters (Hadoop defaults to 4 map attempts).
 const (
 	DefaultMaxAttempts = 4
 	DefaultBackoff     = 0.5
+	DefaultMaxDelay    = 60
 )
 
 // WithDefaults fills zero fields.
@@ -156,16 +183,28 @@ func (r RetryPolicy) WithDefaults() RetryPolicy {
 	if r.Backoff <= 0 {
 		r.Backoff = DefaultBackoff
 	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = DefaultMaxDelay
+	}
 	return r
 }
 
 // Delay returns the backoff before retry number n (1-based): Backoff ×
-// 2^(n−1), exponential in simulated time.
+// 2^(n−1), exponential in simulated time, clamped at MaxDelay so
+// adversarial attempt counts cannot overflow to +Inf.
 func (r RetryPolicy) Delay(n int) float64 {
 	if n < 1 {
 		n = 1
 	}
-	return r.Backoff * math.Pow(2, float64(n-1))
+	cap := r.MaxDelay
+	if cap <= 0 {
+		cap = DefaultMaxDelay
+	}
+	d := r.Backoff * math.Pow(2, float64(n-1))
+	if d > cap || math.IsNaN(d) {
+		return cap
+	}
+	return d
 }
 
 // Injector answers the engine's fault queries for one run. A nil-plan

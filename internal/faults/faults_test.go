@@ -2,6 +2,7 @@ package faults
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"datanet/internal/cluster"
@@ -25,6 +26,22 @@ func TestPlanValidate(t *testing.T) {
 		{"read prob ok", &Plan{Read: ReadErrors{Prob: 0.2}}, true},
 		{"read prob 1", &Plan{Read: ReadErrors{Prob: 1}}, false},
 		{"read prob negative", &Plan{Read: ReadErrors{Prob: -0.1}}, false},
+		{"sequential windows", &Plan{Crashes: []Crash{
+			{Node: 1, At: 3, RejoinAt: 5}, {Node: 1, At: 7, RejoinAt: 9}}}, true},
+		{"touching windows", &Plan{Crashes: []Crash{
+			{Node: 1, At: 3, RejoinAt: 5}, {Node: 1, At: 5, RejoinAt: 9}}}, true},
+		{"same node different instants two other nodes", &Plan{Crashes: []Crash{
+			{Node: 0, At: 3}, {Node: 2, At: 3}}}, true},
+		{"duplicate crash instant", &Plan{Crashes: []Crash{
+			{Node: 1, At: 3, RejoinAt: 8}, {Node: 1, At: 3, RejoinAt: 8}}}, false},
+		{"duplicate permanent crash", &Plan{Crashes: []Crash{
+			{Node: 1, At: 3}, {Node: 1, At: 3}}}, false},
+		{"overlapping windows", &Plan{Crashes: []Crash{
+			{Node: 1, At: 3, RejoinAt: 8}, {Node: 1, At: 5, RejoinAt: 12}}}, false},
+		{"crash after permanent crash", &Plan{Crashes: []Crash{
+			{Node: 1, At: 3}, {Node: 1, At: 9, RejoinAt: 12}}}, false},
+		{"crash inside earlier window listed out of order", &Plan{Crashes: []Crash{
+			{Node: 1, At: 5, RejoinAt: 12}, {Node: 1, At: 3, RejoinAt: 6}}}, false},
 	}
 	for _, c := range cases {
 		err := c.plan.Validate(4)
@@ -72,12 +89,12 @@ func TestInjectorDeadAtAndRejoin(t *testing.T) {
 	}
 }
 
-// A rejoin time that falls inside a later crash interval is skipped
-// forward to the later interval's rejoin.
+// A rejoin time that coincides with a later crash interval's start is
+// skipped forward to the later interval's rejoin.
 func TestInjectorRejoinInsideLaterCrash(t *testing.T) {
 	in, err := NewInjector(&Plan{Crashes: []Crash{
 		{Node: 0, At: 5, RejoinAt: 12},
-		{Node: 0, At: 10, RejoinAt: 20},
+		{Node: 0, At: 12, RejoinAt: 20},
 	}}, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -169,5 +186,40 @@ func TestRetryPolicy(t *testing.T) {
 	}
 	if d := r.Delay(0); d != DefaultBackoff {
 		t.Errorf("Delay(0) = %g, want clamp to first retry", d)
+	}
+}
+
+// Regression: Backoff × 2^(n−1) used to overflow to +Inf for adversarial
+// attempt counts, parking the retry at simulated-time infinity.
+func TestRetryDelayClamped(t *testing.T) {
+	r := RetryPolicy{MaxAttempts: 1 << 30}.WithDefaults()
+	if r.MaxDelay != DefaultMaxDelay {
+		t.Fatalf("MaxDelay default not applied: %+v", r)
+	}
+	for _, n := range []int{8, 64, 1024, 1 << 20, 1 << 30} {
+		d := r.Delay(n)
+		if math.IsInf(d, 0) || math.IsNaN(d) {
+			t.Fatalf("Delay(%d) = %v, overflowed", n, d)
+		}
+		if d > DefaultMaxDelay {
+			t.Fatalf("Delay(%d) = %g exceeds cap %g", n, d, float64(DefaultMaxDelay))
+		}
+	}
+	if d := r.Delay(1 << 20); d != DefaultMaxDelay {
+		t.Fatalf("huge attempt should hit the cap exactly, got %g", d)
+	}
+	// The cap never lowers small delays.
+	if d := r.Delay(2); d != DefaultBackoff*2 {
+		t.Fatalf("Delay(2) = %g, want %g", d, DefaultBackoff*2)
+	}
+	// A custom cap is honored, and a zero-value policy (no WithDefaults)
+	// still cannot overflow.
+	c := RetryPolicy{Backoff: 1, MaxDelay: 4}
+	if d := c.Delay(10); d != 4 {
+		t.Fatalf("custom cap: Delay(10) = %g, want 4", d)
+	}
+	z := RetryPolicy{Backoff: 1}
+	if d := z.Delay(1 << 25); d != DefaultMaxDelay {
+		t.Fatalf("zero-value cap: Delay = %g, want %g", d, float64(DefaultMaxDelay))
 	}
 }

@@ -32,6 +32,7 @@ import (
 
 	"datanet/internal/apps"
 	"datanet/internal/cluster"
+	"datanet/internal/detect"
 	"datanet/internal/faults"
 	"datanet/internal/hdfs"
 	"datanet/internal/records"
@@ -106,6 +107,13 @@ type Config struct {
 	// Retry bounds task re-execution under faults; zero fields take the
 	// Hadoop-like defaults (4 attempts, 0.5 s base backoff, doubling).
 	Retry faults.RetryPolicy
+	// Detect selects how the master learns of node failures. The zero value
+	// (detect.Oracle) keeps the historical behavior: crashes are reacted to
+	// at the crash instant. Heartbeat/Phi modes run a failure detector on
+	// the filter kernel — the master pays real detection latency, may
+	// falsely suspect slowed nodes, and reconciles duplicate completions
+	// first-finisher-wins.
+	Detect detect.Config
 	// Trace, when non-nil, records the run's full event timeline on the
 	// simulated clock: every scheduler decision with its audit payload
 	// (candidates, locality, workload vs W̄, rule), task attempts, fault
@@ -218,6 +226,18 @@ type Result struct {
 	// invalid and the job degraded to the locality baseline (the reason is
 	// embedded in SchedulerName).
 	MetadataFallback bool
+	// FalseSuspicions counts live nodes the failure detector wrongly
+	// condemned (always 0 under detect.Oracle).
+	FalseSuspicions int
+	// DuplicateKills counts redundant attempts killed because another
+	// attempt of the same task committed first (false-suspicion and
+	// rejoin-race dedupe).
+	DuplicateKills int
+	// DetectionLatency lists, per responded crash, the gap in simulated
+	// seconds between the crash and the master learning of it. Empty under
+	// detect.Oracle (the oracle reacts instantly) — heartbeat modes pay a
+	// strictly positive latency for every crash they respond to.
+	DetectionLatency []float64
 }
 
 // Errors.
@@ -244,6 +264,16 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	retry := cfg.Retry.WithDefaults()
+	// Heartbeat modes run a failure detector on the filter kernel; the
+	// oracle (zero value) builds none and keeps the historical instant
+	// reaction, byte-identical to pre-detector schedules.
+	var det *detect.Detector
+	if cfg.Detect.Mode != detect.Oracle {
+		det, err = detect.New(cfg.Detect, inj, topo.N())
+		if err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Reducers <= 0 {
 		cfg.Reducers = topo.N()
 	}
@@ -361,7 +391,7 @@ func Run(cfg Config) (*Result, error) {
 		res:    res,
 		blocks: blocks,
 		tasks:  tasks,
-		fsim:   newFilterSim(cfg, topo, inj, retry, tasks, truth, picker, res),
+		fsim:   newFilterSim(cfg, topo, inj, retry, tasks, truth, picker, res, det),
 		coll:   newCollector(cfg),
 	}
 	if err := runPipeline(jc); err != nil {

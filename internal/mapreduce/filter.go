@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"datanet/internal/cluster"
+	"datanet/internal/detect"
 	"datanet/internal/faults"
 	"datanet/internal/hdfs"
 	"datanet/internal/sched"
@@ -42,6 +43,14 @@ const (
 	// handler: parked slots consult the kernel horizon (NextAt) for the
 	// earliest instant new work can appear, which these events define.
 	evRetryReady
+	// evBeat delivers one node's heartbeat instant (detector modes only;
+	// K1 = node). Beats order after slot activity and retry markers at the
+	// same instant, so a completion racing its node's condemnation wins.
+	evBeat
+	// evDetTimeout matures one node's suspicion timeout (detector modes;
+	// K1 = node). Ordered after beats: a beat arriving exactly at the
+	// timeout instant clears the node first.
+	evDetTimeout
 )
 
 // Typed failure errors.
@@ -84,6 +93,7 @@ type runAttempt struct {
 	attempt    int
 	failed     bool // transient read error: the attempt burns its slot time and retries
 	voided     bool // killed by a crash before completion
+	dup        bool // speculative duplicate of an attempt believed lost
 	// gen guards against stale completions: a crash resets the slot and
 	// bumps its generation, orphaning whatever was still queued for it.
 	gen int
@@ -101,6 +111,9 @@ type slotKey struct {
 type retryItem struct {
 	readyAt float64
 	li      int
+	// dup marks a speculative duplicate (the original attempt may still be
+	// running on a suspected node); its failure never burns a real retry.
+	dup bool
 	// ev is the queued retry-ready marker, hidden once the retry is taken
 	// so the kernel horizon reflects only work that can still appear.
 	ev *sim.Event
@@ -146,6 +159,33 @@ type filterSim struct {
 	// this).
 	idleRetries int
 
+	// Failure-detector state (all nil/empty in oracle mode — det == nil is
+	// the byte-identical historical path). The detector separates *truth*
+	// (the injector's physics, applied at the crash instant) from *belief*
+	// (the master's reaction, deferred to a matured suspicion or a
+	// re-registration beat); the gap is the detection latency.
+	det *detect.Detector
+	// pendingResp maps a physically crashed node to its crash instant
+	// while the master has not yet responded. The phase cannot settle while
+	// a response is outstanding: it may still un-commit destroyed outputs.
+	pendingResp map[cluster.NodeID]float64
+	// pendingVoided lists, per crashed node, the task indices whose
+	// in-flight attempts died with it; the master requeues them only when
+	// it responds (it cannot requeue work it does not know was lost).
+	pendingVoided map[cluster.NodeID][]int
+	// slotsDown marks nodes whose slots were physically killed by a crash;
+	// the node's re-registration beat revives them.
+	slotsDown map[cluster.NodeID]bool
+	// dupOutstanding caps speculative duplicates at one per task.
+	dupOutstanding []bool
+	// lastDup carries the acquire path's duplicate flag to dispatch,
+	// exactly like lastRule carries the decision rule.
+	lastDup bool
+	// wakeKinds is the parked-slot horizon: the event kinds that can create
+	// new work (detector modes add beats and timeouts, whose responses may
+	// requeue tasks).
+	wakeKinds []sim.Kind
+
 	// Tracing state (all nil/zero when tracing is off — the fast path).
 	// rec receives timeline events; lastRule carries the acquire path's
 	// decision rule to dispatch; assigned tracks the scheduling weight
@@ -160,7 +200,7 @@ type filterSim struct {
 
 const maxIdleRetries = 1 << 20
 
-func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retry faults.RetryPolicy, tasks []sched.Task, truth []int64, picker sched.Picker, res *Result) *filterSim {
+func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retry faults.RetryPolicy, tasks []sched.Task, truth []int64, picker sched.Picker, res *Result, det *detect.Detector) *filterSim {
 	s := &filterSim{
 		cfg:       cfg,
 		topo:      topo,
@@ -170,6 +210,7 @@ func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retr
 		truth:     truth,
 		picker:    picker,
 		res:       res,
+		det:       det,
 		kern:      sim.New(nil),
 		gens:      make(map[slotKey]int),
 		running:   make(map[slotKey]*runAttempt),
@@ -181,6 +222,14 @@ func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retr
 		trackStat: make([]int, len(tasks)),
 		crashes:   inj.Crashes(),
 		nodeTasks: make(map[cluster.NodeID]int, topo.N()),
+		wakeKinds: []sim.Kind{evRetryReady, evAttemptDone, evCrash},
+	}
+	if det != nil {
+		s.pendingResp = make(map[cluster.NodeID]float64)
+		s.pendingVoided = make(map[cluster.NodeID][]int)
+		s.slotsDown = make(map[cluster.NodeID]bool)
+		s.dupOutstanding = make([]bool, len(tasks))
+		s.wakeKinds = append(s.wakeKinds, evBeat, evDetTimeout)
 	}
 	for li, t := range tasks {
 		s.byIndex[t.Index] = li
@@ -226,6 +275,10 @@ func (s *filterSim) run() error {
 	s.kern.Handle(evCrash, s.onCrash)
 	s.kern.Handle(evSlotFree, s.slotHandler(s.onSlotFree))
 	s.kern.Handle(evAttemptDone, s.slotHandler(s.onAttemptDone))
+	if s.det != nil {
+		s.det.SetHooks(detect.Hooks{Beat: s.onDetBeat, Suspect: s.onSuspect, Clear: s.onClear})
+		s.det.Bind(s.kern, evBeat, evDetTimeout, 2)
+	}
 	for _, id := range s.topo.IDs() {
 		for slot := 0; slot < s.topo.Node(id).Slots; slot++ {
 			s.postSlotFree(0, id, slot, 0)
@@ -235,14 +288,105 @@ func (s *filterSim) run() error {
 	// instant, ordered before slot activity at the same time.
 	s.inj.Schedule(s.kern, evCrash, -1)
 	if s.slotLive > 0 {
-		if err := s.kern.Run(); err != nil {
-			return err
+		for {
+			if err := s.kern.Run(); err != nil {
+				return err
+			}
+			if s.det == nil {
+				break
+			}
+			// Detector modes: heartbeats chain forever, so the kernel stops
+			// via maybeSettle or slot accounting — possibly while a crash
+			// response is still outstanding (the master has not discovered
+			// the destroyed outputs yet). Resume until belief catches up
+			// with truth, the phase is wedged, or the queue drains.
+			if s.doneCount >= len(s.tasks) && len(s.pendingResp) == 0 {
+				break
+			}
+			if s.slotLive == 0 && len(s.pendingResp) == 0 && !s.anyRevivable() {
+				break
+			}
+			if s.kern.Len() == 0 {
+				break
+			}
 		}
 	}
+	s.killDuplicates()
 	if s.doneCount < len(s.tasks) {
 		return fmt.Errorf("%w: %d filter tasks unfinished", ErrNoLiveNodes, len(s.tasks)-s.doneCount)
 	}
 	return nil
+}
+
+// maybeSettle stops the kernel once nothing further can happen: the phase
+// is complete with no crash response outstanding, or no slot can ever
+// serve again. Detector modes only — without this, the beat chains would
+// run the kernel forever.
+func (s *filterSim) maybeSettle() {
+	if s.det == nil {
+		return
+	}
+	if s.doneCount >= len(s.tasks) && len(s.pendingResp) == 0 {
+		s.kern.Stop()
+		return
+	}
+	if s.slotLive == 0 && len(s.pendingResp) == 0 && !s.anyRevivable() {
+		s.kern.Stop() // wedged: nothing can request work again
+	}
+}
+
+// anyRevivable reports whether some downed node's slots can still come
+// back: the node is already alive again (its next beat revives them) or
+// has a rejoin scheduled.
+func (s *filterSim) anyRevivable() bool {
+	now := s.kern.Now()
+	for id, down := range s.slotsDown {
+		if !down {
+			continue
+		}
+		if !s.inj.DeadAt(id, now) {
+			return true
+		}
+		if _, ok := s.inj.RejoinAfter(id, now); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// killDuplicates sweeps attempts still in flight after the kernel stops
+// whose task already committed elsewhere: the master kills the redundant
+// attempts at the phase barrier (speculation-style), so they neither
+// extend the makespan nor double-count work.
+func (s *filterSim) killDuplicates() {
+	if s.det == nil || len(s.running) == 0 {
+		return
+	}
+	keys := make([]slotKey, 0, len(s.running))
+	for k := range s.running {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].slot < keys[j].slot
+	})
+	for _, k := range keys {
+		r := s.running[k]
+		if !s.done[r.li] {
+			continue
+		}
+		r.ev.Hide()
+		delete(s.running, k)
+		s.res.DuplicateKills++
+		if s.rec.Enabled() {
+			s.rec.Record(trace.Event{T: r.start, Type: trace.EvTaskKilled,
+				Node: int(k.node), Block: int(r.task.Block), Attempt: r.attempt,
+				Local: r.local, Detail: "phase-end-kill"})
+			s.assigned[k.node] -= r.task.Weight
+		}
+	}
 }
 
 // translateKernelEvent maps one kernel delivery to its trace entry (the
@@ -268,6 +412,12 @@ func translateKernelEvent(e *sim.Event) (trace.Event, bool) {
 		}
 	case evRetryReady:
 		ev.Detail = "retry-ready"
+	case evBeat:
+		ev.Detail = "heartbeat"
+		ev.Node = int(e.K1)
+	case evDetTimeout:
+		ev.Detail = "heartbeat-timeout"
+		ev.Node = int(e.K1)
 	default:
 		return trace.Event{}, false
 	}
@@ -283,9 +433,16 @@ func (s *filterSim) postSlotFree(at float64, node cluster.NodeID, slot, gen int)
 // onCrash delivers one group of simultaneous crashes. Once the last
 // output is committed the filter barrier has passed, and later crashes
 // belong to the analysis phase (recoverAnalysis), so they are left
-// unapplied for it.
+// unapplied for it. Oracle mode applies physics and master response in
+// one step at the crash instant; detector modes apply only the physics
+// here and defer the response to the failure detector.
 func (s *filterSim) onCrash(ev *sim.Event) error {
-	if s.doneCount >= len(s.tasks) || s.slotLive == 0 {
+	if s.det == nil {
+		if s.doneCount >= len(s.tasks) || s.slotLive == 0 {
+			return nil
+		}
+	} else if s.doneCount >= len(s.tasks) && len(s.pendingResp) == 0 {
+		// The barrier looks passed and no response can re-open it.
 		return nil
 	}
 	t0 := ev.At
@@ -297,7 +454,246 @@ func (s *filterSim) onCrash(ev *sim.Event) error {
 	if len(group) == 0 {
 		return nil
 	}
-	return s.applyCrashGroup(t0, group)
+	if s.det == nil {
+		return s.applyCrashGroup(t0, group)
+	}
+	sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+	for _, d := range group {
+		if err := s.applyCrashPhysics(d, t0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyCrashPhysics applies the *physical* half of one node's crash:
+// attempts running on the victim die, its slots stop requesting work, and
+// its stored outputs are (silently, for now) destroyed. The master's
+// belief — requeues, re-replication, un-committing outputs, latency
+// accounting — waits for the detector: a matured suspicion or the node's
+// re-registration beat triggers respond. Detector modes only.
+func (s *filterSim) applyCrashPhysics(d cluster.NodeID, t0 float64) error {
+	s.res.NodeCrashes++
+	if s.rec.Enabled() {
+		ev := trace.At(t0, trace.EvNodeCrash)
+		ev.Node = int(d)
+		s.rec.Record(ev)
+		if rj, ok := s.inj.RejoinAfter(d, t0); ok {
+			rje := trace.At(rj, trace.EvNodeRejoin)
+			rje.Node = int(d)
+			s.rec.Record(rje)
+		}
+	}
+	s.slotsDown[d] = true
+	for slot := 0; slot < s.topo.Node(d).Slots; slot++ {
+		key := slotKey{d, slot}
+		s.gens[key]++ // every queued slot event of the victim is now stale
+		r := s.running[key]
+		if r == nil {
+			continue
+		}
+		r.voided = true
+		r.ev.Hide() // a dead attempt's end no longer creates work
+		delete(s.running, key)
+		if s.rec.Enabled() {
+			ve := trace.Event{T: t0, Type: trace.EvTaskVoided,
+				Node: int(d), Block: int(r.task.Block), Attempt: r.attempt}
+			s.rec.Record(ve)
+			s.assigned[d] -= r.task.Weight
+		}
+		if !s.done[r.li] {
+			s.pendingVoided[d] = append(s.pendingVoided[d], r.li)
+		}
+	}
+	if _, ok := s.pendingResp[d]; !ok {
+		s.pendingResp[d] = t0 // latency counts from the first unresponded crash
+	}
+	// A node crashing while already written off (a false suspicion turning
+	// true, or crash–rejoin–crash within one suspicion) gets its response
+	// now: no further beat will arrive to mature a new timeout for it.
+	if s.det.State(d) == detect.Suspected {
+		return s.respond(d, t0)
+	}
+	return nil
+}
+
+// respond is the master's reaction to a node it now believes dead (or,
+// for a re-registration, knows rebooted): the name-node repairs
+// replication, the attempts and outputs lost with the node are requeued,
+// and the crash→response gap is recorded as detection latency.
+func (s *filterSim) respond(d cluster.NodeID, t float64) error {
+	crashAt, ok := s.pendingResp[d]
+	if !ok {
+		return nil
+	}
+	delete(s.pendingResp, d)
+	s.layoutDirty = true
+	s.res.DetectionLatency = append(s.res.DetectionLatency, t-crashAt)
+	if s.rec.Enabled() {
+		s.cfg.FS.SetTraceTime(t)
+		ev := trace.At(t, trace.EvDetectLatency)
+		ev.Node = int(d)
+		ev.Dur = t - crashAt
+		s.rec.Record(ev)
+	}
+	// The repair pass excludes every node that cannot hold replicas right
+	// now: the suspected ones (belief) plus crashed nodes whose response is
+	// still pending — a copy targeted at a corpse fails at the transport
+	// layer immediately, so the name-node skips them without needing to
+	// have suspected them yet.
+	var dead []cluster.NodeID
+	for _, id := range s.topo.IDs() {
+		if id == d || s.det.State(id) == detect.Suspected {
+			dead = append(dead, id)
+			continue
+		}
+		if _, pending := s.pendingResp[id]; pending {
+			dead = append(dead, id)
+		}
+	}
+	moved, lost := s.cfg.FS.FailNodes(dead)
+	s.res.ReplicasRepaired += moved
+	// The attempts that died with the node are requeued now — the master
+	// just learned they will never report back.
+	for _, li := range s.pendingVoided[d] {
+		if s.done[li] {
+			continue // a duplicate finished the task in the meantime
+		}
+		if err := s.requeue(li, t, "crash-voided"); err != nil {
+			return err
+		}
+	}
+	delete(s.pendingVoided, d)
+	// Committed outputs stored on the victim are discovered destroyed.
+	for _, r := range s.byNode[d] {
+		if s.trackStat[r.li] >= 0 {
+			s.res.Tasks[s.trackStat[r.li]].Lost = true
+			s.trackStat[r.li] = -1
+		}
+		s.res.NodeWorkload[d] -= r.matched
+		s.nodeTasks[d]--
+		if s.done[r.li] {
+			s.done[r.li] = false
+			s.doneCount--
+		}
+		s.res.LostOutputs++
+		if s.rec.Enabled() {
+			le := trace.Event{T: t, Type: trace.EvOutputLost,
+				Node: int(d), Block: int(r.task.Block), Attempt: r.attempt,
+				Bytes: r.matched}
+			s.rec.Record(le)
+			s.assigned[d] -= r.task.Weight
+		}
+		if err := s.requeue(r.li, t, "output-lost"); err != nil {
+			return err
+		}
+	}
+	s.byNode[d] = nil
+	// Blocks with no surviving replica are gone for good unless their
+	// filter output survives on a live node.
+	for _, b := range lost {
+		if li, ok := s.byBlock[b]; ok && !s.done[li] {
+			return &BlockFailure{Block: b, Attempts: s.attempts[li], Cause: ErrDataLost}
+		}
+	}
+	return nil
+}
+
+// onDetBeat is the detector's Beat hook. A beat from a node with an
+// outstanding crash response is its re-registration: the node rejoined
+// (perhaps before the timeout ever matured) and its empty state is how
+// the master learns what died with it. Downed slots revive here — the
+// rejoined tracker starts requesting work again.
+func (s *filterSim) onDetBeat(id cluster.NodeID, t float64) error {
+	if _, crashed := s.pendingResp[id]; crashed {
+		if err := s.respond(id, t); err != nil {
+			return err
+		}
+	}
+	if s.slotsDown[id] {
+		s.slotsDown[id] = false
+		for slot := 0; slot < s.topo.Node(id).Slots; slot++ {
+			key := slotKey{id, slot}
+			s.gens[key]++
+			s.postSlotFree(t, id, slot, s.gens[key])
+		}
+	}
+	s.maybeSettle()
+	return nil
+}
+
+// onSuspect is the detector's Suspect hook: the master now believes the
+// node dead. For a real crash this is the (late) response; for a false
+// suspicion the node is alive and still computing — the master stops
+// assigning it work and speculates duplicates of whatever it believes
+// lost in flight, first finisher wins.
+func (s *filterSim) onSuspect(id cluster.NodeID, t float64) error {
+	if s.rec.Enabled() {
+		ev := trace.At(t, trace.EvNodeSuspect)
+		ev.Node = int(id)
+		s.rec.Record(ev)
+	}
+	if _, crashed := s.pendingResp[id]; crashed {
+		if err := s.respond(id, t); err != nil {
+			return err
+		}
+		s.maybeSettle()
+		return nil
+	}
+	s.res.FalseSuspicions++
+	for slot := 0; slot < s.topo.Node(id).Slots; slot++ {
+		if r := s.running[slotKey{id, slot}]; r != nil {
+			s.requeueDup(r.li, t)
+		}
+	}
+	s.maybeSettle()
+	return nil
+}
+
+// onClear is the detector's Clear hook: a beat proved a suspected node
+// alive (rejoin or false alarm); it becomes assignable again.
+func (s *filterSim) onClear(id cluster.NodeID, t float64) error {
+	if s.rec.Enabled() {
+		ev := trace.At(t, trace.EvNodeClear)
+		ev.Node = int(id)
+		s.rec.Record(ev)
+	}
+	return nil
+}
+
+// requeueDup schedules a speculative duplicate of a task the master
+// believes lost on a suspected-but-alive node. Unlike requeue it never
+// fails the job: at the attempt cap (or with no replica to read) the
+// master simply declines to speculate — the original attempt is still
+// physically running and may yet finish.
+func (s *filterSim) requeueDup(li int, t float64) {
+	if s.done[li] || s.dupOutstanding[li] {
+		return
+	}
+	if s.attempts[li] >= s.retry.MaxAttempts {
+		return
+	}
+	if s.layoutDirty && len(s.cfg.FS.Locations(s.tasks[li].Block)) == 0 {
+		return
+	}
+	s.dupOutstanding[li] = true
+	s.res.TasksRetried++
+	if s.rec.Enabled() {
+		ev := trace.At(t, trace.EvTaskRetry)
+		ev.Block = int(s.tasks[li].Block)
+		ev.Attempt = s.attempts[li]
+		ev.Detail = "suspect-duplicate"
+		s.rec.Record(ev)
+	}
+	it := retryItem{readyAt: t + s.retry.Delay(s.attempts[li]), li: li, dup: true}
+	it.ev = s.kern.Post(sim.Event{At: it.readyAt, Kind: evRetryReady, Prio: 1, K1: int64(li)})
+	s.retries = append(s.retries, it)
+	sort.Slice(s.retries, func(a, b int) bool {
+		if s.retries[a].readyAt != s.retries[b].readyAt {
+			return s.retries[a].readyAt < s.retries[b].readyAt
+		}
+		return s.retries[a].li < s.retries[b].li
+	})
 }
 
 // onSlotFree serves one slot's work request unless the slot was reset by a
@@ -325,6 +721,20 @@ func (s *filterSim) onAttemptDone(ev *sim.Event) error {
 	if r.voided {
 		return nil
 	}
+	if s.det != nil && s.done[r.li] {
+		// Another attempt committed first; this one is redundant. The
+		// master kills it on arrival (speculation-style dedupe): its slot
+		// time was burned but the work is not double-counted.
+		s.res.DuplicateKills++
+		s.res.NodeBusy[node] += r.end - r.start
+		if s.rec.Enabled() {
+			s.rec.Record(trace.Event{T: r.start, Type: trace.EvTaskKilled,
+				Node: int(node), Block: int(r.task.Block), Attempt: r.attempt,
+				Dur: r.end - r.start, Local: r.local, Detail: "duplicate-completion"})
+			s.assigned[node] -= r.task.Weight
+		}
+		return s.serveSlot(node, slot, r.gen, now)
+	}
 	if r.failed {
 		s.res.TransientErrors++
 		s.res.NodeBusy[node] += r.end - r.start
@@ -336,7 +746,11 @@ func (s *filterSim) onAttemptDone(ev *sim.Event) error {
 			s.rec.Record(fe)
 			s.assigned[node] -= r.task.Weight
 		}
-		if err := s.requeue(r.li, now, "read-error"); err != nil {
+		if r.dup {
+			// A burned duplicate is not retried: the original attempt is
+			// still running, and speculation must never fail the job.
+			s.dupOutstanding[r.li] = false
+		} else if err := s.requeue(r.li, now, "read-error"); err != nil {
 			return err
 		}
 	} else {
@@ -351,12 +765,21 @@ func (s *filterSim) onAttemptDone(ev *sim.Event) error {
 // horizon says new work can appear.
 func (s *filterSim) serveSlot(node cluster.NodeID, slot, gen int, now float64) error {
 	if s.inj.DeadAt(node, now) {
+		if s.det != nil {
+			return nil // physics downed these slots; re-registration revives them
+		}
 		if rj, ok := s.inj.RejoinAfter(node, now); ok {
 			s.postSlotFree(rj, node, slot, gen)
 		}
 		return nil // permanently dead: the slot retires
 	}
-	if s.doneCount == len(s.tasks) {
+	if s.det != nil && !s.det.Assignable(node) {
+		// The master believes this node dead (false suspicion): it refuses
+		// to hand it work until a beat clears it. The slot polls again.
+		s.postSlotFree(now+s.det.Interval(), node, slot, gen)
+		return nil
+	}
+	if s.doneCount == len(s.tasks) && (s.det == nil || len(s.pendingResp) == 0) {
 		return nil // filter phase complete: the slot retires
 	}
 	if t, li, ok := s.acquire(node, now); ok {
@@ -371,9 +794,10 @@ func (s *filterSim) serveSlot(node cluster.NodeID, slot, gen int, now float64) e
 	next := now + s.cfg.TaskOverhead // heartbeat interval
 	if s.picker.Remaining() == 0 {
 		// Nothing to pull; sleep until the kernel's horizon — the
-		// earliest queued retry maturity, in-flight completion or crash —
+		// earliest queued retry maturity, in-flight completion, crash or
+		// (detector modes) beat/timeout whose response may requeue work —
 		// since only those can create work for this slot.
-		w, ok := s.kern.NextAt(evRetryReady, evAttemptDone, evCrash)
+		w, ok := s.kern.NextAt(s.wakeKinds...)
 		if !ok {
 			return nil // nothing can ever create work for this slot
 		}
@@ -398,6 +822,7 @@ func (s *filterSim) locations(li int) []cluster.NodeID {
 // replica first (failed work returns to surviving replica holders), then
 // the scheduler's own plan, then any matured retry as a remote read.
 func (s *filterSim) acquire(node cluster.NodeID, now float64) (sched.Task, int, bool) {
+	s.lastDup = false
 	if li, ok := s.takeRetry(node, now, true); ok {
 		s.lastRule = "retry.local-replica"
 		return s.tasks[li], li, true
@@ -422,9 +847,18 @@ func (s *filterSim) acquire(node cluster.NodeID, now float64) (sched.Task, int, 
 // one with a replica on the requesting node). The queue is kept sorted by
 // (readyAt, li), so the choice is deterministic.
 func (s *filterSim) takeRetry(node cluster.NodeID, now float64, localOnly bool) (int, bool) {
-	for i, it := range s.retries {
+	for i := 0; i < len(s.retries); i++ {
+		it := s.retries[i]
 		if it.readyAt > now {
 			break // sorted: nothing later is ready either
+		}
+		if s.done[it.li] {
+			// A duplicate won while this retry waited (detector modes);
+			// the task needs no further attempts. Drop the entry.
+			it.ev.Hide()
+			s.retries = append(s.retries[:i], s.retries[i+1:]...)
+			i--
+			continue
 		}
 		if localOnly {
 			local := false
@@ -440,6 +874,7 @@ func (s *filterSim) takeRetry(node cluster.NodeID, now float64, localOnly bool) 
 		}
 		it.ev.Hide() // taken: its maturity no longer creates work
 		s.retries = append(s.retries[:i], s.retries[i+1:]...)
+		s.lastDup = it.dup
 		return it.li, true
 	}
 	return 0, false
@@ -506,7 +941,7 @@ func (s *filterSim) dispatch(nid cluster.NodeID, slot, gen int, t sched.Task, li
 	run := &runAttempt{
 		li: li, task: t, start: now, end: now + s.cfg.TaskOverhead + scan + compute,
 		scan: scan, compute: compute, matched: matched, local: local,
-		attempt: attempt, failed: failed, gen: gen,
+		attempt: attempt, failed: failed, gen: gen, dup: s.lastDup,
 	}
 	if s.rec.Enabled() {
 		cand := make([]int, len(t.Locations))
@@ -558,6 +993,10 @@ func (s *filterSim) commit(id cluster.NodeID, r *runAttempt) {
 		s.rec.Record(trace.Event{T: r.start, Type: trace.EvTaskFinish,
 			Node: int(id), Block: int(r.task.Block), Attempt: r.attempt,
 			Dur: r.end - r.start, Bytes: r.matched, Local: r.local})
+	}
+	if s.det != nil {
+		s.dupOutstanding[r.li] = false
+		s.maybeSettle()
 	}
 }
 
@@ -660,12 +1099,26 @@ func (s *filterSim) recoverAnalysis(analysisStart float64, durations map[cluster
 		s.crashIdx++
 		d := c.Node
 		s.layoutDirty = true
+		// Detector modes: the master learns of the crash only when the
+		// victim's beat chain goes quiet past its timeout — recovery cannot
+		// start before that (the nil detector responds at the crash
+		// instant, the oracle's historical behavior).
+		respAt := s.det.ResponseAt(d, c.At)
+		if s.det != nil {
+			s.res.DetectionLatency = append(s.res.DetectionLatency, respAt-c.At)
+		}
 		if s.rec.Enabled() {
 			s.cfg.FS.SetTraceTime(c.At)
 			ev := trace.At(c.At, trace.EvNodeCrash)
 			ev.Node = int(d)
 			ev.Detail = "analysis-phase"
 			s.rec.Record(ev)
+			if s.det != nil {
+				le := trace.At(respAt, trace.EvDetectLatency)
+				le.Node = int(d)
+				le.Dur = respAt - c.At
+				s.rec.Record(le)
+			}
 		}
 		var dead []cluster.NodeID
 		for _, id := range s.topo.IDs() {
@@ -718,7 +1171,7 @@ func (s *filterSim) recoverAnalysis(analysisStart float64, durations map[cluster
 			float64(blockBytes)/s.inj.NetRate(helper, hn.NetRate) +
 			float64(w)*s.cfg.FilterCostFactor/s.inj.CPURate(helper, hn.CPURate) +
 			float64(w)*s.cfg.App.CostFactor()/s.inj.CPURate(helper, hn.CPURate)
-		start := c.At
+		start := respAt // the helper cannot react before the master knows
 		if analysisStart+durations[helper] > start {
 			start = analysisStart + durations[helper]
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"datanet/internal/cluster"
+	"datanet/internal/detect"
 	"datanet/internal/hdfs"
 	"datanet/internal/sched"
 	"datanet/internal/sim"
@@ -32,6 +33,19 @@ type jobContext struct {
 	// Shuffle → reduce hand-off.
 	totalOut    float64
 	reducerNode []cluster.NodeID
+}
+
+// believedDeadAt reports whether the master would refuse to place work on
+// the node at time t. Under the oracle that is physical death; detector
+// modes additionally exclude nodes still suspected when the filter kernel
+// settled — the master cannot place reducers or backups on a node it
+// believes dead, even when the suspicion is false.
+func (jc *jobContext) believedDeadAt(id cluster.NodeID, t float64) bool {
+	if jc.inj.DeadAt(id, t) {
+		return true
+	}
+	det := jc.fsim.det
+	return det != nil && det.State(id) == detect.Suspected
 }
 
 // Phase is one stage of the simulated job. Each phase advances the shared
@@ -174,7 +188,7 @@ func (analysisPhase) Run(jc *jobContext) error {
 	}
 	live := make([]cluster.NodeID, 0, topo.N())
 	for _, id := range topo.IDs() {
-		if !inj.DeadAt(id, analysisStart) {
+		if !jc.believedDeadAt(id, analysisStart) {
 			live = append(live, id)
 		}
 	}
@@ -225,10 +239,11 @@ func (shufflePhase) Run(jc *jobContext) error {
 		totalMatched += w
 	}
 	jc.totalOut = float64(totalMatched) * cfg.App.OutputRatio()
-	// Reduce tasks only land on nodes alive when the shuffle opens.
+	// Reduce tasks only land on nodes the master believes alive when the
+	// shuffle opens.
 	liveAtShuffle := make([]cluster.NodeID, 0, topo.N())
 	for _, id := range topo.IDs() {
-		if !inj.DeadAt(id, res.MapEnd) {
+		if !jc.believedDeadAt(id, res.MapEnd) {
 			liveAtShuffle = append(liveAtShuffle, id)
 		}
 	}
@@ -240,7 +255,7 @@ func (shufflePhase) Run(jc *jobContext) error {
 		plan := sched.PlanAggregation(res.NodeWorkload, cfg.Reducers)
 		for r := range jc.reducerNode {
 			nid := plan.Aggregators[r%len(plan.Aggregators)]
-			if inj.DeadAt(nid, res.MapEnd) {
+			if jc.believedDeadAt(nid, res.MapEnd) {
 				nid = liveAtShuffle[r%len(liveAtShuffle)]
 			}
 			jc.reducerNode[r] = nid

@@ -17,6 +17,15 @@ type FaultCounters struct {
 	ReplicasRepaired  int
 	SpeculativeWins   int
 	MetadataFallbacks int
+	// FalseSuspicions counts live nodes a failure detector wrongly
+	// condemned (zero under the oracle, which cannot be wrong).
+	FalseSuspicions int
+	// DuplicateKills counts redundant attempts killed after another
+	// attempt of the same task committed first.
+	DuplicateKills int
+	// DetectionLatency aggregates crash→response gaps in simulated
+	// seconds; nil until the first latency is observed.
+	DetectionLatency *Histogram
 }
 
 // Observe folds one run's counters in.
@@ -33,6 +42,24 @@ func (c *FaultCounters) Observe(crashes, retried, transient, lost, repaired, spe
 	}
 }
 
+// ObserveDetection folds one run's failure-detector outcomes in:
+// false suspicions, duplicate-attempt kills, and the crash→response
+// latencies the detector paid. It composes with Observe (which keeps its
+// historical signature) rather than extending it.
+func (c *FaultCounters) ObserveDetection(falseSuspicions, duplicateKills int, latencies []float64) {
+	c.FalseSuspicions += falseSuspicions
+	c.DuplicateKills += duplicateKills
+	if len(latencies) == 0 {
+		return
+	}
+	if c.DetectionLatency == nil {
+		c.DetectionLatency = NewHistogram()
+	}
+	for _, l := range latencies {
+		c.DetectionLatency.Observe(l)
+	}
+}
+
 // Merge folds another set of counters in (sweeps accumulate per-run
 // snapshots this way).
 func (c *FaultCounters) Merge(o FaultCounters) {
@@ -44,12 +71,21 @@ func (c *FaultCounters) Merge(o FaultCounters) {
 	c.ReplicasRepaired += o.ReplicasRepaired
 	c.SpeculativeWins += o.SpeculativeWins
 	c.MetadataFallbacks += o.MetadataFallbacks
+	c.FalseSuspicions += o.FalseSuspicions
+	c.DuplicateKills += o.DuplicateKills
+	if o.DetectionLatency != nil {
+		if c.DetectionLatency == nil {
+			c.DetectionLatency = NewHistogram()
+		}
+		c.DetectionLatency.Merge(o.DetectionLatency)
+	}
 }
 
 // Any reports whether any fault handling actually happened.
 func (c *FaultCounters) Any() bool {
 	return c.NodeCrashes+c.TasksRetried+c.TransientErrors+c.LostOutputs+
-		c.ReplicasRepaired+c.SpeculativeWins+c.MetadataFallbacks > 0
+		c.ReplicasRepaired+c.SpeculativeWins+c.MetadataFallbacks+
+		c.FalseSuspicions+c.DuplicateKills > 0
 }
 
 // Table renders the counters.
@@ -64,5 +100,11 @@ func (c *FaultCounters) Table(title string) *Table {
 	add("replicas repaired", c.ReplicasRepaired)
 	add("speculation wins", c.SpeculativeWins)
 	add("metadata fallbacks", c.MetadataFallbacks)
+	add("false suspicions", c.FalseSuspicions)
+	add("duplicate kills", c.DuplicateKills)
+	if c.DetectionLatency != nil && c.DetectionLatency.Count() > 0 {
+		t.Add("detection latency (mean/max s)",
+			fmt.Sprintf("%.2f / %.2f", c.DetectionLatency.Mean(), c.DetectionLatency.Max()))
+	}
 	return t
 }

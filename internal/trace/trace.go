@@ -48,10 +48,22 @@ const (
 	EvOutputLost EventType = "task.output-lost"
 	// EvSpeculate marks a straggler analysis beaten by a backup attempt.
 	EvSpeculate EventType = "task.speculate"
+	// EvTaskKilled marks a duplicate attempt killed because another
+	// attempt of the same task committed first (speculation-style dedupe
+	// after a false suspicion or rejoin race).
+	EvTaskKilled EventType = "task.killed"
 	// EvNodeCrash / EvNodeRejoin / EvNodeSlowdown are fault deliveries.
 	EvNodeCrash    EventType = "node.crash"
 	EvNodeRejoin   EventType = "node.rejoin"
 	EvNodeSlowdown EventType = "node.slowdown"
+	// EvNodeSuspect / EvNodeClear are failure-detector belief transitions:
+	// the master marking a node dead after missed heartbeats, and a beat
+	// proving it alive again (rejoin or false alarm).
+	EvNodeSuspect EventType = "node.suspect"
+	EvNodeClear   EventType = "node.clear"
+	// EvDetectLatency records, at response time, the gap between a crash
+	// and the master's reaction to it (Dur = latency in simulated seconds).
+	EvDetectLatency EventType = "detect.latency"
 	// EvFaultPlan records the run's static fault configuration at t=0.
 	EvFaultPlan EventType = "faults.plan"
 	// EvRereplicate is a name-node repair pass (Count replicas re-created).
