@@ -12,6 +12,8 @@
 //	datanet top     -data reviews.dnr [-n 10]
 //	datanet suite   [-parallel N] [-json-bench BENCH_suite.json]
 //	datanet chaos   [-runs 200] [-seed 1] [-detect heartbeat] [-shrink]
+//	datanet serve   -meta reviews=reviews.em [-addr 127.0.0.1:8080] [-cache 1024]
+//	datanet loadgen -addr 127.0.0.1:8080 [-clients 8] [-requests 1000] [-seed 1]
 package main
 
 import (
@@ -56,6 +58,10 @@ func main() {
 		err = runSuite(args)
 	case "chaos":
 		err = runChaos(args)
+	case "serve":
+		err = runServe(args)
+	case "loadgen":
+		err = runLoadgen(args)
 	default:
 		usage()
 	}
@@ -66,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: datanet <build|query|analyze|top|verify|suite|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: datanet <build|query|analyze|top|verify|suite|chaos|serve|loadgen> [flags]
   build   -data FILE -meta OUT [-alpha A] [-block BYTES] [-nodes N]
   query   -data FILE -sub KEY [-meta FILE]
   analyze -data FILE -sub KEY -app NAME [-sched locality|datanet|maxflow|lpt] [-skip]
@@ -76,7 +82,9 @@ func usage() {
   top     -data FILE [-n N] | -meta FILE [-n N]
   verify  -data FILE -meta FILE [-samples N]
   suite   [-parallel N] [-json-bench FILE]
-  chaos   [-runs N] [-seed S] [-detect heartbeat|phi|oracle] [-shrink]`)
+  chaos   [-runs N] [-seed S] [-detect heartbeat|phi|oracle] [-shrink]
+  serve   -meta NAME=FILE [-meta NAME=FILE ...] [-addr HOST:PORT] [-cache N]
+  loadgen [-addr HOST:PORT] [-array NAME] [-clients N] [-requests N] [-seed S]`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"datanet/internal/elasticmap"
+	"datanet/internal/metrics"
+	"datanet/internal/server"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// serveFlags holds the serve flag set; split out so tests can golden the
+// help text without the ExitOnError parse path terminating the process.
+type serveFlags struct {
+	fs    *flag.FlagSet
+	addr  *string
+	cache *int
+	metas multiFlag
+}
+
+func newServeFlags() *serveFlags {
+	f := &serveFlags{fs: flag.NewFlagSet("serve", flag.ExitOnError)}
+	f.addr = f.fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	f.cache = f.fs.Int("cache", server.DefaultCacheSize, "per-epoch result-cache entries per array")
+	f.fs.Var(&f.metas, "meta", "NAME=FILE: serve the encoded ElasticMap array FILE as NAME (repeatable)")
+	return f
+}
+
+// runServe loads encoded ElasticMap arrays and serves the metadata query
+// API until interrupted.
+func runServe(args []string) error {
+	f := newServeFlags()
+	f.fs.Parse(args)
+	if len(f.metas) == 0 {
+		return fmt.Errorf("at least one -meta NAME=FILE is required")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, *f.addr, f.metas, *f.cache, nil)
+}
+
+// serve is the signal-free core of runServe: it blocks until ctx is
+// canceled or the listener fails. Tests pass a cancelable ctx and a ready
+// hook to learn the bound address when -addr ends in :0.
+func serve(ctx context.Context, addr string, metas []string, cacheSize int, ready func(addr string)) error {
+	store := server.NewStore(cacheSize)
+	for _, spec := range metas {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("bad -meta %q (want NAME=FILE)", spec)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		arr, err := elasticmap.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		sn := store.Put(name, arr)
+		fmt.Fprintf(stdout, "serve: loaded %q from %s (%d blocks, %d raw bytes, epoch %d)\n",
+			name, path, arr.Len(), arr.RawBytes(), sn.Epoch)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serve: listening on http://%s (%d arrays)\n", ln.Addr(), store.Len())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	srv := &http.Server{Handler: server.New(store)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shctx)
+	case err := <-errc:
+		return err
+	}
+}
+
+// genRequest is one pre-generated loadgen request. The whole request list
+// is derived from -seed before any client starts, so the mix — and, since
+// the API is read-only and snapshot-consistent, every response — is a pure
+// function of the seed.
+type genRequest struct {
+	method string
+	path   string
+	body   []byte
+}
+
+// loadgenFlags holds the loadgen flag set (see serveFlags).
+type loadgenFlags struct {
+	fs        *flag.FlagSet
+	addr      *string
+	array     *string
+	clients   *int
+	requests  *int
+	seed      *int64
+	planNodes *int
+}
+
+func newLoadgenFlags() *loadgenFlags {
+	f := &loadgenFlags{fs: flag.NewFlagSet("loadgen", flag.ExitOnError)}
+	f.addr = f.fs.String("addr", "127.0.0.1:8080", "server address host:port")
+	f.array = f.fs.String("array", "", "array to query (default: first name in the server catalog)")
+	f.clients = f.fs.Int("clients", 8, "concurrent client goroutines")
+	f.requests = f.fs.Int("requests", 1000, "total requests across all clients")
+	f.seed = f.fs.Int64("seed", 1, "query-mix seed; the summary line is a pure function of it")
+	f.planNodes = f.fs.Int("plan-nodes", 8, "cluster size used by generated plan requests")
+	return f
+}
+
+// runLoadgen fires a seeded query mix at a running serve instance from N
+// concurrent clients and reports a deterministic summary line (counts plus
+// an order-independent digest of every request/response pair) followed by
+// wall-clock throughput and a latency histogram.
+func runLoadgen(args []string) error {
+	f := newLoadgenFlags()
+	f.fs.Parse(args)
+	if *f.clients < 1 || *f.requests < 1 {
+		return fmt.Errorf("-clients and -requests must be at least 1")
+	}
+	clients, requests, seed, planNodes := f.clients, f.requests, f.seed, f.planNodes
+	base := "http://" + *f.addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	name := *f.array
+	if name == "" {
+		var catalog struct {
+			Arrays []struct {
+				Name string `json:"name"`
+			} `json:"arrays"`
+		}
+		if err := getJSON(client, base+"/v1/arrays", &catalog); err != nil {
+			return fmt.Errorf("listing arrays: %w", err)
+		}
+		if len(catalog.Arrays) == 0 {
+			return fmt.Errorf("server at %s has no arrays", *f.addr)
+		}
+		name = catalog.Arrays[0].Name
+	}
+	// Seed the sub-dataset pool from the server's own index so the mix
+	// queries real keys; unknown keys are mixed in deliberately below.
+	var top struct {
+		Entries []struct {
+			Sub string `json:"sub"`
+		} `json:"entries"`
+	}
+	if err := getJSON(client, base+"/v1/arrays/"+name+"/top?n=64", &top); err != nil {
+		return fmt.Errorf("fetching sub-dataset pool: %w", err)
+	}
+	subs := make([]string, 0, len(top.Entries))
+	for _, e := range top.Entries {
+		subs = append(subs, e.Sub)
+	}
+	if len(subs) == 0 {
+		subs = []string{"loadgen-empty-pool"}
+	}
+
+	reqs := generateMix(rand.New(rand.NewSource(*seed)), name, subs, *requests, *planNodes)
+
+	type clientStats struct {
+		digest    uint64
+		ok        int
+		httpErr   int
+		transport int
+		lat       *metrics.Histogram
+	}
+	stats := make([]clientStats, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			st.lat = metrics.NewHistogram()
+			hc := &http.Client{Timeout: 30 * time.Second}
+			for i := c; i < len(reqs); i += *clients {
+				q := reqs[i]
+				req, err := http.NewRequest(q.method, base+q.path, bytes.NewReader(q.body))
+				if err != nil {
+					st.transport++
+					continue
+				}
+				t0 := time.Now()
+				resp, err := hc.Do(req)
+				if err != nil {
+					st.transport++
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				st.lat.Observe(float64(time.Since(t0).Microseconds()) / 1e3)
+				if err != nil {
+					st.transport++
+					continue
+				}
+				if resp.StatusCode < 300 {
+					st.ok++
+				} else {
+					st.httpErr++
+				}
+				// Commutative digest: summing per-exchange FNV-64a hashes
+				// makes the result independent of client interleaving.
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%s %s\x00%d\x00", q.method, q.path, resp.StatusCode)
+				h.Write(q.body)
+				h.Write([]byte{0})
+				h.Write(body)
+				st.digest += h.Sum64()
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var digest uint64
+	var ok, httpErr, transport int
+	lat := metrics.NewHistogram()
+	for i := range stats {
+		digest += stats[i].digest
+		ok += stats[i].ok
+		httpErr += stats[i].httpErr
+		transport += stats[i].transport
+		lat.Merge(stats[i].lat)
+	}
+	// Deterministic line first (compared across runs by tests), wall-clock
+	// measurements second.
+	fmt.Fprintf(stdout, "loadgen: %d requests to %q (%d clients, seed %d): %d ok, %d http-errors, %d transport-errors, digest %016x\n",
+		len(reqs), name, *clients, *seed, ok, httpErr, transport, digest)
+	fmt.Fprintf(stdout, "loadgen: wall %.2fs, %.0f req/s; latency ms p50 %.3f p95 %.3f p99 %.3f max %.3f\n",
+		wall.Seconds(), float64(len(reqs))/wall.Seconds(),
+		lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99), lat.Max())
+	if transport > 0 {
+		return fmt.Errorf("loadgen: %d transport errors", transport)
+	}
+	return nil
+}
+
+// generateMix pre-computes the request list: mostly estimates and
+// distributions on real sub-datasets, some meta-only analytics, some full
+// scheduling plans, and a sprinkle of unknown keys and malformed requests
+// to keep the 4xx paths warm.
+func generateMix(rng *rand.Rand, name string, subs []string, n, planNodes int) []genRequest {
+	prefix := "/v1/arrays/" + name
+	schedulers := []string{"datanet", "maxflow", "locality", "lpt"}
+	reqs := make([]genRequest, 0, n)
+	for i := 0; i < n; i++ {
+		sub := subs[rng.Intn(len(subs))]
+		switch p := rng.Intn(100); {
+		case p < 35:
+			reqs = append(reqs, genRequest{"GET", prefix + "/estimate?sub=" + sub, nil})
+		case p < 60:
+			reqs = append(reqs, genRequest{"GET", prefix + "/distribution?sub=" + sub, nil})
+		case p < 72:
+			reqs = append(reqs, genRequest{"GET", fmt.Sprintf("%s/top?n=%d", prefix, 1+rng.Intn(16)), nil})
+		case p < 80:
+			reqs = append(reqs, genRequest{"GET", prefix, nil})
+		case p < 90:
+			body, _ := json.Marshal(map[string]any{
+				"sub":       sub,
+				"nodes":     planNodes,
+				"scheduler": schedulers[rng.Intn(len(schedulers))],
+			})
+			reqs = append(reqs, genRequest{"POST", prefix + "/plan", body})
+		case p < 96:
+			reqs = append(reqs, genRequest{"GET",
+				fmt.Sprintf("%s/estimate?sub=loadgen-missing-%d", prefix, rng.Intn(1000)), nil})
+		default:
+			// Deliberately malformed: missing sub parameter → 400.
+			reqs = append(reqs, genRequest{"GET", prefix + "/estimate", nil})
+		}
+	}
+	return reqs
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	return json.Unmarshal(body, out)
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"datanet/internal/elasticmap"
+	"datanet/internal/gen"
+	"datanet/internal/records"
+)
+
+// compareGolden checks output against testdata/<name>; -update (shared
+// with json_test.go) rewrites.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden copy (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// The help text of both new subcommands is pinned: flag renames, default
+// changes, and usage-string edits must be deliberate.
+func TestServeHelpGolden(t *testing.T) {
+	var buf bytes.Buffer
+	f := newServeFlags()
+	f.fs.SetOutput(&buf)
+	f.fs.Usage()
+	compareGolden(t, "serve_help.golden", buf.Bytes())
+}
+
+func TestLoadgenHelpGolden(t *testing.T) {
+	var buf bytes.Buffer
+	f := newLoadgenFlags()
+	f.fs.SetOutput(&buf)
+	f.fs.Usage()
+	compareGolden(t, "loadgen_help.golden", buf.Bytes())
+}
+
+// writeEncodedMeta builds a small ElasticMap array from the generator
+// corpus and writes its encoding to a temp file, as `datanet build -meta`
+// would.
+func writeEncodedMeta(t *testing.T) string {
+	t.Helper()
+	recs := gen.Movies(gen.MovieConfig{Movies: 40, Reviews: 2000, Seed: 11})
+	var blocks [][]records.Record
+	for i := 0; i < len(recs); i += 200 {
+		end := i + 200
+		if end > len(recs) {
+			end = len(recs)
+		}
+		blocks = append(blocks, recs[i:end])
+	}
+	blob, err := elasticmap.Encode(elasticmap.Build(blocks, elasticmap.Options{Alpha: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "reviews.em")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeLoadgenSmoke boots a real server on a random port and runs the
+// load generator against it twice with the same seed: the deterministic
+// summary line (counts + order-independent digest) must be identical, and
+// the second output line must report wall-clock measurements.
+func TestServeLoadgenSmoke(t *testing.T) {
+	meta := writeEncodedMeta(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	serveOut := &bytes.Buffer{}
+	stdout = serveOut
+	addrCh := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve(ctx, "127.0.0.1:0", []string{"reviews=" + meta}, 64,
+			func(a string) { addrCh <- a })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-serveErr:
+		t.Fatalf("serve failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+
+	runOnce := func(seed int64) string {
+		buf := &bytes.Buffer{}
+		stdout = buf
+		if err := runLoadgen([]string{"-addr", addr, "-clients", "4", "-requests", "80",
+			"-seed", fmt.Sprint(seed), "-plan-nodes", "4"}); err != nil {
+			t.Fatalf("loadgen: %v\n%s", err, buf)
+		}
+		lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("loadgen printed %d lines, want 2:\n%s", len(lines), buf)
+		}
+		if !strings.Contains(lines[1], "req/s") || !strings.Contains(lines[1], "latency ms") {
+			t.Fatalf("second line is not the wall-clock report: %q", lines[1])
+		}
+		return lines[0]
+	}
+	first := runOnce(7)
+	second := runOnce(7)
+	if first != second {
+		t.Fatalf("summary line not reproducible for fixed seed:\n  %s\n  %s", first, second)
+	}
+	if !strings.Contains(first, `80 requests to "reviews" (4 clients, seed 7)`) ||
+		!strings.Contains(first, "0 transport-errors") || !strings.Contains(first, "digest ") {
+		t.Fatalf("unexpected summary line: %q", first)
+	}
+
+	stdout = os.Stdout
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	if out := serveOut.String(); !strings.Contains(out, "serve: listening on http://") ||
+		!strings.Contains(out, `serve: loaded "reviews"`) {
+		t.Fatalf("unexpected serve output:\n%s", out)
+	}
+}
+
+// TestServeBadMeta covers the load-time failure paths: malformed specs,
+// missing files, and corrupt encodings must all refuse to start.
+func TestServeBadMeta(t *testing.T) {
+	ctx := context.Background()
+	for _, spec := range []string{"noequals", "=path", "name="} {
+		if err := serve(ctx, "127.0.0.1:0", []string{spec}, 8, nil); err == nil {
+			t.Errorf("serve accepted bad -meta %q", spec)
+		}
+	}
+	if err := serve(ctx, "127.0.0.1:0", []string{"x=" + filepath.Join(t.TempDir(), "nope.em")}, 8, nil); err == nil {
+		t.Error("serve accepted a missing meta file")
+	}
+	corrupt := filepath.Join(t.TempDir(), "bad.em")
+	if err := os.WriteFile(corrupt, []byte("not an elasticmap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout = &bytes.Buffer{}
+	defer func() { stdout = os.Stdout }()
+	if err := serve(ctx, "127.0.0.1:0", []string{"x=" + corrupt}, 8, nil); err == nil {
+		t.Error("serve accepted a corrupt meta file")
+	}
+}

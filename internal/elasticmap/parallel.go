@@ -58,6 +58,20 @@ func (a *Array) Append(blocks [][]records.Record) {
 	}
 }
 
+// Appended is the copy-on-write variant of Append: it returns a new array
+// covering a's blocks followed by meta-data for the new blocks, leaving a
+// untouched. BlockMeta values are immutable after construction, so the two
+// arrays may safely share them across goroutines — this is the primitive
+// the metadata service's snapshot store builds its epochs from.
+func (a *Array) Appended(blocks [][]records.Record) *Array {
+	metas := make([]*BlockMeta, 0, len(a.metas)+len(blocks))
+	metas = append(metas, a.metas...)
+	for _, recs := range blocks {
+		metas = append(metas, BuildBlockMeta(recs, a.opts))
+	}
+	return FromMetas(metas, a.opts)
+}
+
 // Merge concatenates two arrays built with compatible options (block order:
 // a's blocks then b's). It returns a new array; inputs are unchanged.
 func Merge(a, b *Array) *Array {

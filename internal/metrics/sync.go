@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+// The zero value is ready. Serving-path code (internal/server) increments
+// these on every request; experiment code keeps using plain ints.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// SyncHistogram is a Histogram safe for concurrent observation. It guards
+// a plain Histogram with a mutex rather than sharding: the serving paths
+// that use it observe one value per HTTP request, so contention is dwarfed
+// by request handling itself. The zero value is ready to use.
+type SyncHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Observe records one value.
+func (s *SyncHistogram) Observe(v float64) {
+	s.mu.Lock()
+	s.h.Observe(v)
+	s.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (s *SyncHistogram) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Count()
+}
+
+// Summary digests the histogram (count, sum, min/max, mean, quantiles).
+func (s *SyncHistogram) Summary() HistogramSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Summary()
+}
+
+// MarshalJSON serializes as the summary, like Histogram.
+func (s *SyncHistogram) MarshalJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.MarshalJSON()
+}

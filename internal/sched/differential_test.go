@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"datanet/internal/cluster"
+	"datanet/internal/graph"
+	"datanet/internal/hdfs"
+)
+
+// The differential property: on any cluster/block instance, Algorithm 1's
+// planned max node load
+//
+//   - never beats the universal lower bound max(⌈total/m⌉, w_max) — no
+//     assignment can;
+//   - is within a bounded ratio of the max-flow optimum (the paper's
+//     offline Ford–Fulkerson assignment);
+//   - and, when the plan used no off-replica placement (no line-12 assist
+//     fired), is ≥ the flow optimum minus one block's weight — the flow
+//     solver rounds its fractional solution, so w_max is exactly its
+//     documented slack. Off-replica plans are exempt from this direction:
+//     the assist escapes the locality constraint the flow optimum is
+//     computed under, so Algorithm 1 may legitimately beat it.
+//
+// Failures shrink the instance (drop blocks, drop nodes, halve weights)
+// before reporting, so the log shows a minimal counterexample.
+
+// diffInstance is one random cluster/block problem.
+type diffInstance struct {
+	nodes     int
+	weights   []int64
+	locations [][]int
+}
+
+func (in *diffInstance) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "nodes=%d blocks=%d\n", in.nodes, len(in.weights))
+	for j := range in.weights {
+		fmt.Fprintf(&sb, "  block %d: weight=%d replicas=%v\n", j, in.weights[j], in.locations[j])
+	}
+	return sb.String()
+}
+
+// randomInstance draws a skewed instance: Zipf-flavored weights (many
+// light blocks, few heavy), some zero-weight blocks, 1–3 replicas spread
+// at random.
+func randomInstance(rng *rand.Rand) *diffInstance {
+	m := 2 + rng.Intn(11)   // 2..12 nodes
+	nb := m + rng.Intn(40)  // m..m+39 blocks
+	repl := 1 + rng.Intn(3) // 1..3 replicas
+	in := &diffInstance{nodes: m}
+	for j := 0; j < nb; j++ {
+		var w int64
+		switch rng.Intn(4) {
+		case 0: // zero-weight block (sub-dataset absent)
+			w = 0
+		case 1: // heavy head
+			w = 500 + rng.Int63n(2000)
+		default: // light tail
+			w = rng.Int63n(120)
+		}
+		locs := rng.Perm(m)[:min(repl, m)]
+		in.weights = append(in.weights, w)
+		in.locations = append(in.locations, locs)
+	}
+	return in
+}
+
+// evaluate runs both sides of the differential on an instance.
+type diffResult struct {
+	algoMax    int64
+	flowMax    int64
+	lowerBound int64
+	wmax       int64
+	usedAssist bool
+}
+
+func evaluate(t *testing.T, in *diffInstance) diffResult {
+	t.Helper()
+	topo, err := cluster.NewHomogeneous(in.nodes, 1)
+	if err != nil {
+		t.Fatalf("bad instance (%d nodes): %v", in.nodes, err)
+	}
+	tasks := make([]Task, len(in.weights))
+	for j, w := range in.weights {
+		locs := make([]cluster.NodeID, len(in.locations[j]))
+		for k, n := range in.locations[j] {
+			locs[k] = cluster.NodeID(n)
+		}
+		tasks[j] = Task{Block: hdfs.BlockID(j), Index: j, Weight: w, Bytes: w, Locations: locs}
+	}
+	p := NewDataNetPicker(tasks, topo).(*DataNetPicker)
+	var res diffResult
+	for _, w := range p.Workloads() {
+		if w > res.algoMax {
+			res.algoMax = w
+		}
+	}
+	for _, rule := range p.ruleByIndex {
+		if rule == "algo1.line12-assist" || rule == "algo1.no-local-replica" {
+			res.usedAssist = true
+		}
+	}
+
+	g := graph.NewBipartite(in.nodes, in.weights, in.locations)
+	res.flowMax = graph.MaxLoad(g, graph.BalancedAssignment(g))
+
+	var total int64
+	for _, w := range in.weights {
+		total += w
+		if w > res.wmax {
+			res.wmax = w
+		}
+	}
+	res.lowerBound = (total + int64(in.nodes) - 1) / int64(in.nodes)
+	if res.wmax > res.lowerBound {
+		res.lowerBound = res.wmax
+	}
+	return res
+}
+
+// propertyViolation returns "" when the instance satisfies the property.
+func propertyViolation(t *testing.T, in *diffInstance) string {
+	r := evaluate(t, in)
+	if r.flowMax < r.lowerBound {
+		return fmt.Sprintf("flow optimum %d beats the universal lower bound %d", r.flowMax, r.lowerBound)
+	}
+	if r.algoMax < r.lowerBound {
+		return fmt.Sprintf("algorithm 1 max load %d beats the universal lower bound %d", r.algoMax, r.lowerBound)
+	}
+	if !r.usedAssist && r.algoMax+r.wmax < r.flowMax {
+		return fmt.Sprintf("locality-respecting algorithm 1 max load %d under flow optimum %d − w_max %d", r.algoMax, r.flowMax, r.wmax)
+	}
+	if bound := 2*r.flowMax + r.wmax; r.algoMax > bound {
+		return fmt.Sprintf("algorithm 1 max load %d exceeds ratio bound 2·%d + %d", r.algoMax, r.flowMax, r.wmax)
+	}
+	return ""
+}
+
+// shrink greedily minimizes a failing instance while it keeps failing.
+func shrink(t *testing.T, in *diffInstance) *diffInstance {
+	fails := func(c *diffInstance) bool {
+		return len(c.weights) > 0 && c.nodes >= 2 && propertyViolation(t, c) != ""
+	}
+	for progress := true; progress; {
+		progress = false
+		// Drop one block at a time.
+		for j := 0; j < len(in.weights); j++ {
+			c := &diffInstance{
+				nodes:     in.nodes,
+				weights:   append(append([]int64{}, in.weights[:j]...), in.weights[j+1:]...),
+				locations: append(append([][]int{}, in.locations[:j]...), in.locations[j+1:]...),
+			}
+			if fails(c) {
+				in, progress = c, true
+				j--
+			}
+		}
+		// Drop the last node, folding its replicas onto the rest.
+		if in.nodes > 2 {
+			c := &diffInstance{nodes: in.nodes - 1, weights: append([]int64{}, in.weights...)}
+			for _, locs := range in.locations {
+				seen := map[int]bool{}
+				var folded []int
+				for _, n := range locs {
+					n %= c.nodes
+					if !seen[n] {
+						seen[n] = true
+						folded = append(folded, n)
+					}
+				}
+				c.locations = append(c.locations, folded)
+			}
+			if fails(c) {
+				in, progress = c, true
+			}
+		}
+		// Halve weights.
+		for j := 0; j < len(in.weights); j++ {
+			if in.weights[j] < 2 {
+				continue
+			}
+			c := &diffInstance{nodes: in.nodes, weights: append([]int64{}, in.weights...), locations: in.locations}
+			c.weights[j] /= 2
+			if fails(c) {
+				in, progress = c, true
+			}
+		}
+	}
+	return in
+}
+
+// TestAlgorithm1VsMaxFlowDifferential sweeps seeded random instances
+// through both schedulers and checks the bracketing property.
+func TestAlgorithm1VsMaxFlowDifferential(t *testing.T) {
+	const instances = 200
+	rng := rand.New(rand.NewSource(20160523)) // the paper's conference date
+	for i := 0; i < instances; i++ {
+		in := randomInstance(rng)
+		if msg := propertyViolation(t, in); msg != "" {
+			min := shrink(t, in)
+			t.Fatalf("instance %d: %s\nshrunken counterexample:\n%s(still fails with: %s)",
+				i, msg, min, propertyViolation(t, min))
+		}
+	}
+}
+
+// TestDifferentialTable pins known instances — corner cases the random
+// sweep may not draw — in table form.
+func TestDifferentialTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   diffInstance
+	}{
+		{"single block", diffInstance{nodes: 3, weights: []int64{700}, locations: [][]int{{1}}}},
+		{"all zero weights", diffInstance{nodes: 4, weights: []int64{0, 0, 0, 0, 0},
+			locations: [][]int{{0}, {1}, {2}, {3}, {0, 1}}}},
+		{"uniform spread", diffInstance{nodes: 2, weights: []int64{10, 10, 10, 10},
+			locations: [][]int{{0, 1}, {0, 1}, {0, 1}, {0, 1}}}},
+		{"one hot node", diffInstance{nodes: 2, weights: []int64{10, 10, 10, 10, 10, 10},
+			locations: [][]int{{0}, {0}, {0}, {0}, {0}, {0}}}},
+		{"heavy head light tail", diffInstance{nodes: 3, weights: []int64{900, 1, 1, 1, 1, 1, 1},
+			locations: [][]int{{0, 1}, {0}, {0}, {0}, {1}, {2}, {2}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if msg := propertyViolation(t, &tc.in); msg != "" {
+				t.Fatalf("%s\n%s", msg, &tc.in)
+			}
+		})
+	}
+}
+
+// TestShrinkerMinimizes pins the worked counterexample that motivates the
+// assist exemption in the property: with every replica on one node,
+// Algorithm 1's line-12 assist goes off-replica and genuinely beats the
+// locality-constrained flow optimum. If this ever stops holding, the
+// exemption in propertyViolation should be revisited.
+func TestShrinkerMinimizes(t *testing.T) {
+	// "one hot node" violates the *strict* (assist-blind) dominance
+	// direction: algorithm 1's assist beats the locality-bound optimum.
+	in := &diffInstance{nodes: 2, weights: []int64{10, 10, 10, 10, 10, 10},
+		locations: [][]int{{0}, {0}, {0}, {0}, {0}, {0}}}
+	r := evaluate(t, in)
+	if !r.usedAssist {
+		t.Skip("instance no longer triggers the assist; shrinker exercise moot")
+	}
+	if r.algoMax >= r.flowMax {
+		t.Fatalf("expected assist to beat the flow optimum: algo %d, flow %d", r.algoMax, r.flowMax)
+	}
+}

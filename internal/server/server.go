@@ -1,0 +1,405 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"datanet/internal/elasticmap"
+	"datanet/internal/metrics"
+)
+
+// MaxBodyBytes bounds request bodies (encoded arrays, plan requests): a
+// malformed or hostile payload is rejected before it can balloon memory.
+const MaxBodyBytes = 64 << 20
+
+// endpointMetrics counts one route's traffic.
+type endpointMetrics struct {
+	requests metrics.Counter
+	errors   metrics.Counter
+	latency  metrics.SyncHistogram // seconds
+}
+
+// Server is the HTTP metadata service over a Store.
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+	// byEndpoint maps route label → metrics; fixed at construction so the
+	// hot path never locks a map.
+	byEndpoint map[string]*endpointMetrics
+	cacheHits  metrics.Counter
+	cacheMiss  metrics.Counter
+}
+
+// endpoint labels, in /v1/metrics order.
+var endpointLabels = []string{
+	"append", "arrays", "distribution", "estimate", "healthz", "info", "plan", "put", "top",
+}
+
+// New builds the service over store.
+func New(store *Store) *Server {
+	s := &Server{
+		store:      store,
+		mux:        http.NewServeMux(),
+		byEndpoint: make(map[string]*endpointMetrics, len(endpointLabels)),
+	}
+	for _, l := range endpointLabels {
+		s.byEndpoint[l] = &endpointMetrics{}
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/arrays", s.instrument("arrays", s.handleArrays))
+	s.mux.HandleFunc("GET /v1/arrays/{name}", s.instrument("info", s.handleInfo))
+	s.mux.HandleFunc("GET /v1/arrays/{name}/estimate", s.instrument("estimate", s.handleEstimate))
+	s.mux.HandleFunc("GET /v1/arrays/{name}/distribution", s.instrument("distribution", s.handleDistribution))
+	s.mux.HandleFunc("GET /v1/arrays/{name}/top", s.instrument("top", s.handleTop))
+	s.mux.HandleFunc("POST /v1/arrays/{name}/plan", s.instrument("plan", s.handlePlan))
+	s.mux.HandleFunc("POST /v1/arrays/{name}/append", s.instrument("append", s.handleAppend))
+	s.mux.HandleFunc("PUT /v1/arrays/{name}", s.instrument("put", s.handlePut))
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// Store exposes the underlying snapshot store (CLI wiring, tests).
+func (s *Server) Store() *Store { return s.store }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError carries a status code through handler returns.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps a handler with per-endpoint counting and latency
+// observation, and renders returned errors as JSON with a 4xx status.
+// Handlers return pre-marshaled bodies so cached responses skip encoding.
+func (s *Server) instrument(label string, h func(r *http.Request) ([]byte, error)) http.HandlerFunc {
+	em := s.byEndpoint[label]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		em.requests.Inc()
+		body, err := h(r)
+		em.latency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			em.errors.Inc()
+			code := http.StatusBadRequest
+			var he *httpError
+			if errors.As(err, &he) {
+				code = he.code
+			}
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		// Marshal of the fixed response shapes cannot fail; guard anyway
+		// without escalating to a 5xx the fuzzer would flag.
+		blob = []byte(`{"error":"encoding failure"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(blob, '\n'))
+}
+
+func marshal(v any) []byte {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"error":"encoding failure"}`)
+	}
+	return append(blob, '\n')
+}
+
+// snapshot resolves the {name} path wildcard to a store snapshot.
+func (s *Server) snapshot(r *http.Request) (*Snapshot, error) {
+	name := r.PathValue("name")
+	sn, ok := s.store.Get(name)
+	if !ok {
+		return nil, notFound("unknown array %q", name)
+	}
+	return sn, nil
+}
+
+// cached answers from the snapshot's per-epoch cache, counting hits and
+// misses on the server.
+func (s *Server) cached(sn *Snapshot, key string, compute func() []byte) []byte {
+	body, hit := sn.Cached(key, compute)
+	if hit {
+		s.cacheHits.Inc()
+	} else {
+		s.cacheMiss.Inc()
+	}
+	return body
+}
+
+func (s *Server) handleHealthz(*http.Request) ([]byte, error) {
+	return marshal(map[string]bool{"ok": true}), nil
+}
+
+// arrayInfo is the catalog row of one array.
+type arrayInfo struct {
+	Name         string  `json:"name"`
+	Epoch        uint64  `json:"epoch"`
+	Blocks       int     `json:"blocks"`
+	DominantSubs int     `json:"dominantSubs"`
+	RawBytes     int64   `json:"rawBytes"`
+	MemoryBytes  int64   `json:"memoryBytes"`
+	MeanAlpha    float64 `json:"meanAlpha"`
+}
+
+func infoOf(sn *Snapshot) arrayInfo {
+	return arrayInfo{
+		Name:         sn.Name,
+		Epoch:        sn.Epoch,
+		Blocks:       sn.Arr.Len(),
+		DominantSubs: sn.Idx.DominantSubs(),
+		RawBytes:     sn.Arr.RawBytes(),
+		MemoryBytes:  sn.Arr.MemoryBits() / 8,
+		MeanAlpha:    sn.Arr.MeanAlpha(),
+	}
+}
+
+func (s *Server) handleArrays(*http.Request) ([]byte, error) {
+	names := s.store.Names()
+	infos := make([]arrayInfo, 0, len(names))
+	for _, name := range names {
+		if sn, ok := s.store.Get(name); ok {
+			infos = append(infos, infoOf(sn))
+		}
+	}
+	return marshal(map[string]any{"arrays": infos}), nil
+}
+
+func (s *Server) handleInfo(r *http.Request) ([]byte, error) {
+	sn, err := s.snapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return marshal(infoOf(sn)), nil
+}
+
+// estimateResponse answers Eq. 6 for one sub-dataset.
+type estimateResponse struct {
+	Epoch         uint64 `json:"epoch"`
+	Sub           string `json:"sub"`
+	Estimate      int64  `json:"estimate"`
+	HashedBlocks  int    `json:"hashedBlocks"`
+	BloomedBlocks int    `json:"bloomedBlocks"`
+}
+
+func (s *Server) handleEstimate(r *http.Request) ([]byte, error) {
+	sn, err := s.snapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	sub := r.URL.Query().Get("sub")
+	if sub == "" {
+		return nil, badRequest("missing sub parameter")
+	}
+	return s.cached(sn, "estimate\x00"+sub, func() []byte {
+		total, hashed, bloomed := sn.Arr.EstimateDetailed(sub)
+		return marshal(estimateResponse{
+			Epoch: sn.Epoch, Sub: sub,
+			Estimate: total, HashedBlocks: hashed, BloomedBlocks: bloomed,
+		})
+	}), nil
+}
+
+// blockEstimate mirrors elasticmap.BlockEstimate with a JSON class name.
+type blockEstimate struct {
+	Block int    `json:"block"`
+	Size  int64  `json:"size"`
+	Class string `json:"class"`
+}
+
+func (s *Server) handleDistribution(r *http.Request) ([]byte, error) {
+	sn, err := s.snapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	sub := r.URL.Query().Get("sub")
+	if sub == "" {
+		return nil, badRequest("missing sub parameter")
+	}
+	return s.cached(sn, "distribution\x00"+sub, func() []byte {
+		dist := sn.Arr.Distribution(sub)
+		blocks := make([]blockEstimate, len(dist))
+		for i, be := range dist {
+			blocks[i] = blockEstimate{Block: be.Block, Size: be.Size, Class: be.Class.String()}
+		}
+		return marshal(map[string]any{
+			"epoch": sn.Epoch, "sub": sub, "blocks": blocks,
+		})
+	}), nil
+}
+
+func (s *Server) handleTop(r *http.Request) ([]byte, error) {
+	sn, err := s.snapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			return nil, badRequest("bad n parameter %q", q)
+		}
+		n = v
+	}
+	return s.cached(sn, "top\x00"+strconv.Itoa(n), func() []byte {
+		top := sn.Idx.Top(n)
+		entries := make([]map[string]any, len(top))
+		for i, e := range top {
+			entries[i] = map[string]any{"sub": e.Sub, "bytes": e.Bytes}
+		}
+		return marshal(map[string]any{"epoch": sn.Epoch, "entries": entries})
+	}), nil
+}
+
+func (s *Server) handlePlan(r *http.Request) ([]byte, error) {
+	sn, err := s.snapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	var req PlanRequest
+	if err := json.Unmarshal(blob, &req); err != nil {
+		return nil, badRequest("bad plan request: %v", err)
+	}
+	if err := req.validate(sn.Arr.Len()); err != nil {
+		return nil, badRequest("bad plan request: %v", err)
+	}
+	// Canonical cache key: the validated request re-marshaled, so
+	// semantically identical requests share an entry. Only successful
+	// plans are cached; errors recompute.
+	key := "plan\x00" + string(marshal(req))
+	if body, ok := sn.cache.get(key); ok {
+		s.cacheHits.Inc()
+		return body, nil
+	}
+	resp, err := buildPlan(sn, &req)
+	if err != nil {
+		return nil, badRequest("plan: %v", err)
+	}
+	body := marshal(resp)
+	sn.cache.put(key, body)
+	s.cacheMiss.Inc()
+	return body, nil
+}
+
+// readBody drains a bounded request body.
+func readBody(r *http.Request) ([]byte, error) {
+	blob, err := io.ReadAll(io.LimitReader(r.Body, MaxBodyBytes+1))
+	if err != nil {
+		return nil, badRequest("reading body: %v", err)
+	}
+	if len(blob) > MaxBodyBytes {
+		return nil, &httpError{code: http.StatusRequestEntityTooLarge, msg: "body exceeds limit"}
+	}
+	return blob, nil
+}
+
+func (s *Server) handleAppend(r *http.Request) ([]byte, error) {
+	name := r.PathValue("name")
+	blob, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	more, err := elasticmap.Decode(blob)
+	if err != nil {
+		return nil, badRequest("decoding appended array: %v", err)
+	}
+	sn, err := s.store.Append(name, more)
+	if errors.Is(err, ErrUnknownArray) {
+		return nil, notFound("unknown array %q", name)
+	} else if err != nil {
+		return nil, badRequest("append: %v", err)
+	}
+	return marshal(map[string]any{"name": name, "epoch": sn.Epoch, "blocks": sn.Arr.Len()}), nil
+}
+
+func (s *Server) handlePut(r *http.Request) ([]byte, error) {
+	name := r.PathValue("name")
+	if name == "" {
+		return nil, badRequest("missing array name")
+	}
+	blob, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := elasticmap.Decode(blob)
+	if err != nil {
+		return nil, badRequest("decoding array: %v", err)
+	}
+	sn := s.store.Put(name, arr)
+	return marshal(map[string]any{"name": name, "epoch": sn.Epoch, "blocks": sn.Arr.Len()}), nil
+}
+
+// endpointStats is one route's row in /v1/metrics.
+type endpointStats struct {
+	Requests uint64                   `json:"requests"`
+	Errors   uint64                   `json:"errors"`
+	Latency  metrics.HistogramSummary `json:"latency"`
+}
+
+// MetricsSnapshot digests the server's counters. Exported so the CLI can
+// print it on shutdown.
+type MetricsSnapshot struct {
+	Endpoints   map[string]endpointStats `json:"endpoints"`
+	CacheHits   uint64                   `json:"cacheHits"`
+	CacheMisses uint64                   `json:"cacheMisses"`
+}
+
+// Metrics snapshots the per-endpoint counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	out := MetricsSnapshot{
+		Endpoints:   make(map[string]endpointStats, len(s.byEndpoint)),
+		CacheHits:   s.cacheHits.Value(),
+		CacheMisses: s.cacheMiss.Value(),
+	}
+	labels := make([]string, 0, len(s.byEndpoint))
+	for l := range s.byEndpoint {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		em := s.byEndpoint[l]
+		out.Endpoints[l] = endpointStats{
+			Requests: em.requests.Value(),
+			Errors:   em.errors.Value(),
+			Latency:  em.latency.Summary(),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
