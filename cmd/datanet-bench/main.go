@@ -25,7 +25,26 @@ func main() {
 	csvDir := flag.String("csv", "", "also write the figure series as CSV files into this directory")
 	htmlOut := flag.String("html", "", "also write a self-contained HTML report (inline SVG) to this path")
 	workers := flag.Int("parallel", 1, "worker-pool size for independent suite experiments (output is identical at any count)")
+	benchOut := flag.String("json-bench", "", "run the suite plus the hot-path microbenches (build MB/s, estimates/sec, HTTP p50/p99) and write the benchmark record to this JSON file")
 	flag.Parse()
+
+	if *benchOut != "" {
+		rep, err := experiments.RunSuiteBench(os.Stdout, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datanet-bench:", err)
+			os.Exit(1)
+		}
+		if rep.HotPath, err = experiments.MeasureHotPaths(); err != nil {
+			fmt.Fprintln(os.Stderr, "datanet-bench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "datanet-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *benchOut)
+		return
+	}
 
 	if *htmlOut != "" {
 		if err := experiments.WriteHTMLReport(*htmlOut); err != nil {

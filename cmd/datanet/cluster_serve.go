@@ -1,0 +1,326 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datanet/internal/cluster"
+	"datanet/internal/clusterd"
+	"datanet/internal/detect"
+	"datanet/internal/elasticmap"
+	"datanet/internal/faults"
+	"datanet/internal/server"
+)
+
+// Wall-clock cluster timing: the control loop ticks every tickEvery, so
+// heartbeats, suspicion sweeps and shipment delivery all advance on that
+// cadence. ShipDelay is one tick — replication is asynchronous but tight.
+const (
+	clusterTickEvery    = 100 * time.Millisecond
+	clusterHBInterval   = 0.5 // seconds
+	clusterHBTimeout    = 1.5
+	clusterShipDelaySec = 0.1
+)
+
+// clusterServer owns the per-node listeners of a `datanet serve -cluster`
+// process: one HTTP server per cluster node, all backed by the same
+// control plane, plus the wall-clock tick loop that drives heartbeats,
+// failure detection and snapshot shipping.
+type clusterServer struct {
+	mu       sync.Mutex
+	c        *clusterd.Cluster
+	host     string
+	handlers map[cluster.NodeID]*clusterd.Handler
+	srvs     map[cluster.NodeID]*http.Server
+}
+
+// bootNode wires node id's handler to a fresh listener and registers its
+// address with the control plane so /admin/topology routes to it.
+func (cs *clusterServer) bootNode(id cluster.NodeID, addr string) (string, error) {
+	h, err := clusterd.NewHandler(cs.c, id)
+	if err != nil {
+		return "", err
+	}
+	// New members added at runtime via /admin/addnode get their own
+	// listener on an ephemeral port.
+	h.OnAddNode = func(nid cluster.NodeID) {
+		if _, err := cs.bootNode(nid, net.JoinHostPort(cs.host, "0")); err != nil {
+			fmt.Fprintf(os.Stderr, "datanet: serve: booting added node %d: %v\n", nid, err)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	cs.c.SetAddr(id, ln.Addr().String())
+	cs.mu.Lock()
+	cs.handlers[id] = h
+	cs.srvs[id] = srv
+	cs.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+// shutdown drains in-flight appends on every node, then closes the
+// listeners.
+func (cs *clusterServer) shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var first error
+	for _, h := range cs.handlers {
+		if err := h.Server().Drain(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, srv := range cs.srvs {
+		if err := srv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// serveCluster is the -cluster N serving mode: the catalog is sharded
+// across N nodes with K followers per shard, each node serving the same
+// HTTP API behind a leadership gate, and an admin plane for topology,
+// node addition and decommissioning. The first node takes the requested
+// address; the rest bind ephemeral ports on the same host.
+func serveCluster(ctx context.Context, addr string, metas []string, cacheSize, nodes, replicas, shards int, ready func(addr string)) error {
+	c, err := clusterd.New(clusterd.Config{
+		Shards: shards, Replicas: replicas, CacheSize: cacheSize,
+		Detect: detect.Config{
+			Mode: detect.Heartbeat, Interval: clusterHBInterval, Timeout: clusterHBTimeout,
+		},
+		ShipDelay: clusterShipDelaySec,
+	}, nodes)
+	if err != nil {
+		return err
+	}
+	for _, spec := range metas {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("bad -meta %q (want NAME=FILE)", spec)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		arr, err := elasticmap.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := c.Load(name, arr); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "serve: loaded %q from %s (%d blocks, shard %d)\n",
+			name, path, arr.Len(), clusterd.ShardOf(name, shards))
+	}
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("bad -addr %q: %w", addr, err)
+	}
+	cs := &clusterServer{
+		c: c, host: host,
+		handlers: map[cluster.NodeID]*clusterd.Handler{},
+		srvs:     map[cluster.NodeID]*http.Server{},
+	}
+	defer cs.shutdown()
+	var seedAddr string
+	for i, id := range c.MemberIDs() {
+		nodeAddr := net.JoinHostPort(host, "0")
+		if i == 0 {
+			nodeAddr = addr
+		}
+		bound, err := cs.bootNode(id, nodeAddr)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			seedAddr = bound
+		}
+		fmt.Fprintf(stdout, "serve: node %d listening on http://%s\n", id, bound)
+	}
+	fmt.Fprintf(stdout, "serve: cluster of %d nodes, %d shards, %d replicas per shard; topology at http://%s/admin/topology\n",
+		nodes, shards, replicas, seedAddr)
+	if ready != nil {
+		ready(seedAddr)
+	}
+	start := time.Now()
+	ticker := time.NewTicker(clusterTickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return cs.shutdown()
+		case <-ticker.C:
+			c.Tick(time.Since(start).Seconds())
+		}
+	}
+}
+
+// loadgenRouter resolves which node a request must hit in cluster mode
+// and retries the typed 503s a failover window legally produces. In
+// single-server mode (no /admin/topology) it degrades to a passthrough.
+type loadgenRouter struct {
+	client *http.Client
+	// seed is the base URL loadgen was pointed at; always a valid place
+	// to re-fetch topology from.
+	seed string
+	// policy reuses the engine's capped-exponential retry semantics,
+	// scaled to wall-clock seconds.
+	policy faults.RetryPolicy
+
+	mu        sync.Mutex
+	clustered bool
+	shards    int
+	primaries map[int]string // shard -> base URL of its primary
+}
+
+// newLoadgenRouter probes the target: a /admin/topology answer makes it
+// shard-aware, anything else leaves it a passthrough.
+func newLoadgenRouter(client *http.Client, seed string) *loadgenRouter {
+	r := &loadgenRouter{
+		client: client, seed: seed,
+		policy: faults.RetryPolicy{MaxAttempts: 4, Backoff: 0.05, MaxDelay: 0.5},
+	}
+	r.refresh()
+	return r
+}
+
+// refresh re-reads the shard map; it is the recovery step between
+// retries, so a promoted primary is picked up mid-run.
+func (r *loadgenRouter) refresh() {
+	var tv clusterd.TopologyView
+	if err := getJSON(r.client, r.seed+"/admin/topology", &tv); err != nil || tv.Shards == 0 {
+		return
+	}
+	addrs := map[int]string{}
+	for _, nv := range tv.Nodes {
+		if nv.Addr != "" {
+			addrs[nv.ID] = "http://" + nv.Addr
+		}
+	}
+	primaries := map[int]string{}
+	for _, sv := range tv.Map {
+		if sv.Primary >= 0 {
+			if a, ok := addrs[sv.Primary]; ok {
+				primaries[sv.Shard] = a
+			}
+		}
+	}
+	r.mu.Lock()
+	r.clustered, r.shards, r.primaries = true, tv.Shards, primaries
+	r.mu.Unlock()
+}
+
+// Clustered reports whether the target is a cluster.
+func (r *loadgenRouter) Clustered() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clustered
+}
+
+// baseFor returns the base URL serving array name right now.
+func (r *loadgenRouter) baseFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.clustered {
+		return r.seed
+	}
+	if base, ok := r.primaries[clusterd.ShardOf(name, r.shards)]; ok {
+		return base
+	}
+	return r.seed
+}
+
+// do executes one loadgen request against whichever node currently
+// serves the array, retrying the typed failover 503s with the capped
+// exponential backoff of faults.RetryPolicy (refreshing the shard map
+// between attempts so a promoted primary is found). The returned status
+// and body are the final exchange — what the digest should hash.
+func (r *loadgenRouter) do(hc *http.Client, q genRequest, name string) (status int, body []byte, retried int, err error) {
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequest(q.method, r.baseFor(name)+q.path, bytes.NewReader(q.body))
+		if err != nil {
+			return 0, nil, retried, err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return 0, nil, retried, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return 0, nil, retried, rerr
+		}
+		if retryable503(resp.StatusCode, body) && attempt < r.policy.MaxAttempts {
+			retried++
+			time.Sleep(time.Duration(r.policy.Delay(attempt) * float64(time.Second)))
+			r.refresh()
+			continue
+		}
+		return resp.StatusCode, body, retried, nil
+	}
+}
+
+// retryable503 reports whether a response is a typed failover-window 503
+// worth retrying after a topology refresh.
+func retryable503(status int, body []byte) bool {
+	if status != http.StatusServiceUnavailable {
+		return false
+	}
+	var eb server.ErrorBody
+	if json.Unmarshal(body, &eb) != nil {
+		return false
+	}
+	switch eb.Kind {
+	case "not_leader", "no_leader", "node_down", "draining", "not_ready":
+		return true
+	}
+	return false
+}
+
+// clusterCatalog unions the per-node catalogs (each node lists only the
+// shards it leads) into one sorted name list.
+func clusterCatalog(client *http.Client, seed string) ([]string, error) {
+	var tv clusterd.TopologyView
+	if err := getJSON(client, seed+"/admin/topology", &tv); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, nv := range tv.Nodes {
+		if nv.Addr == "" {
+			continue
+		}
+		var catalog struct {
+			Arrays []struct {
+				Name string `json:"name"`
+			} `json:"arrays"`
+		}
+		if err := getJSON(client, "http://"+nv.Addr+"/v1/arrays", &catalog); err != nil {
+			continue // a node mid-failover is not a listing failure
+		}
+		for _, a := range catalog.Arrays {
+			seen[a.Name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -12,7 +12,9 @@
 //	datanet top     -data reviews.dnr [-n 10]
 //	datanet suite   [-parallel N] [-json-bench BENCH_suite.json]
 //	datanet chaos   [-runs 200] [-seed 1] [-detect heartbeat] [-shrink]
+//	datanet chaos   -cluster 4 -replicas 2 [-runs 200] [-seed 1]
 //	datanet serve   -meta reviews=reviews.em [-addr 127.0.0.1:8080] [-cache 1024]
+//	datanet serve   -meta reviews=reviews.em -cluster 3 -replicas 2 [-shards 4]
 //	datanet loadgen -addr 127.0.0.1:8080 [-clients 8] [-requests 1000] [-seed 1]
 package main
 
@@ -83,8 +85,11 @@ func usage() {
   verify  -data FILE -meta FILE [-samples N]
   suite   [-parallel N] [-json-bench FILE]
   chaos   [-runs N] [-seed S] [-detect heartbeat|phi|oracle] [-shrink]
+          [-cluster N [-replicas K] [-shards S]]  (sharded-cluster invariants)
   serve   -meta NAME=FILE [-meta NAME=FILE ...] [-addr HOST:PORT] [-cache N]
-  loadgen [-addr HOST:PORT] [-array NAME] [-clients N] [-requests N] [-seed S]`)
+          [-cluster N [-replicas K] [-shards S]]  (sharded, replicated serving)
+  loadgen [-addr HOST:PORT] [-array NAME] [-clients N] [-requests N] [-seed S]
+          (shard-routes and retries typed 503s automatically against a cluster)`)
 	os.Exit(2)
 }
 
@@ -566,6 +571,9 @@ func runChaos(args []string) error {
 	seed := fs.Uint64("seed", 1, "base seed of the campaign (plans derive from it)")
 	detectMode := fs.String("detect", "heartbeat", "failure detector under test: oracle | heartbeat | phi")
 	shrink := fs.Bool("shrink", false, "reduce the first violating plan to a minimal counterexample")
+	clusterN := fs.Int("cluster", 0, "check the sharded metadata cluster with N nodes instead of the job engine (0 = engine)")
+	replicas := fs.Int("replicas", 2, "followers per shard in cluster chaos")
+	shards := fs.Int("shards", 4, "catalog shards in cluster chaos")
 	fs.Parse(args)
 	if *runs < 1 {
 		return fmt.Errorf("-runs must be at least 1")
@@ -573,6 +581,9 @@ func runChaos(args []string) error {
 	mode, err := datanet.ParseDetectorMode(*detectMode)
 	if err != nil {
 		return err
+	}
+	if *clusterN > 0 {
+		return runClusterChaos(*runs, *seed, *clusterN, *shards, *replicas, mode, *shrink)
 	}
 	p := chaos.DefaultParams()
 	p.Detect.Mode = mode
@@ -606,6 +617,41 @@ func runChaos(args []string) error {
 			v.Seed, v.Scheduler, v.Invariant, *min)
 	}
 	return fmt.Errorf("chaos: %d invariant violations in %d runs", len(rep.Violations), rep.Runs)
+}
+
+// runClusterChaos is the -cluster mode of the chaos subcommand: seeded
+// crash/rejoin/decommission/addnode plans with client traffic against the
+// sharded metadata cluster, checking the failover invariants (no lost
+// arrays, no unflagged stale reads, exactly one primary per shard,
+// bounded convergence, bit-identical replay).
+func runClusterChaos(runs int, seed uint64, nodes, shards, replicas int, mode datanet.DetectorMode, shrink bool) error {
+	p := chaos.DefaultClusterParams()
+	p.Nodes, p.Shards, p.Replicas = nodes, shards, replicas
+	p.Detect.Mode = mode
+	rep, err := chaos.RunCluster(runs, seed, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "chaos: %d cluster runs (%d nodes, %d shards, %d replicas) under %s detection: %d crashes, %d rejoins, %d decommissions, %d adds, %d appends, %d reads, %d retries: %d violations\n",
+		rep.Runs, nodes, shards, replicas, mode,
+		rep.Crashes, rep.Rejoins, rep.Decommissions, rep.AddNodes, rep.Appends, rep.Reads,
+		rep.Retries, len(rep.Violations))
+	if len(rep.Violations) == 0 {
+		return nil
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(stdout, "  %s\n", v)
+	}
+	if shrink {
+		v := rep.Violations[0]
+		min := chaos.ShrinkCluster(v.Plan, p, v.Invariant)
+		blob, err := json.MarshalIndent(min, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "minimal counterexample for seed %d (%s):\n%s\n", v.Seed, v.Invariant, blob)
+	}
+	return fmt.Errorf("chaos: %d cluster invariant violations in %d runs", len(rep.Violations), rep.Runs)
 }
 
 // parseFaultPlan assembles a datanet.FaultPlan from the CLI specs:

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -32,16 +31,22 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 // serveFlags holds the serve flag set; split out so tests can golden the
 // help text without the ExitOnError parse path terminating the process.
 type serveFlags struct {
-	fs    *flag.FlagSet
-	addr  *string
-	cache *int
-	metas multiFlag
+	fs       *flag.FlagSet
+	addr     *string
+	cache    *int
+	cluster  *int
+	replicas *int
+	shards   *int
+	metas    multiFlag
 }
 
 func newServeFlags() *serveFlags {
 	f := &serveFlags{fs: flag.NewFlagSet("serve", flag.ExitOnError)}
 	f.addr = f.fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	f.cache = f.fs.Int("cache", server.DefaultCacheSize, "per-epoch result-cache entries per array")
+	f.cluster = f.fs.Int("cluster", 0, "serve as an N-node sharded cluster instead of a single process (0 = single)")
+	f.replicas = f.fs.Int("replicas", 1, "followers per shard in cluster mode")
+	f.shards = f.fs.Int("shards", 4, "catalog shards in cluster mode")
 	f.fs.Var(&f.metas, "meta", "NAME=FILE: serve the encoded ElasticMap array FILE as NAME (repeatable)")
 	return f
 }
@@ -56,6 +61,9 @@ func runServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *f.cluster > 0 {
+		return serveCluster(ctx, *f.addr, f.metas, *f.cache, *f.cluster, *f.replicas, *f.shards, nil)
+	}
 	return serve(ctx, *f.addr, f.metas, *f.cache, nil)
 }
 
@@ -147,21 +155,37 @@ func runLoadgen(args []string) error {
 	clients, requests, seed, planNodes := f.clients, f.requests, f.seed, f.planNodes
 	base := "http://" + *f.addr
 	client := &http.Client{Timeout: 30 * time.Second}
+	// The router probes /admin/topology: against `serve -cluster` it
+	// shard-routes every request to the array's primary and retries the
+	// typed failover 503s; against a single server it is a passthrough.
+	router := newLoadgenRouter(client, base)
 
 	name := *f.array
 	if name == "" {
-		var catalog struct {
-			Arrays []struct {
-				Name string `json:"name"`
-			} `json:"arrays"`
+		var names []string
+		if router.Clustered() {
+			// Per-node listings only cover led shards; union them.
+			var err error
+			if names, err = clusterCatalog(client, base); err != nil {
+				return fmt.Errorf("listing cluster arrays: %w", err)
+			}
+		} else {
+			var catalog struct {
+				Arrays []struct {
+					Name string `json:"name"`
+				} `json:"arrays"`
+			}
+			if err := getJSON(client, base+"/v1/arrays", &catalog); err != nil {
+				return fmt.Errorf("listing arrays: %w", err)
+			}
+			for _, a := range catalog.Arrays {
+				names = append(names, a.Name)
+			}
 		}
-		if err := getJSON(client, base+"/v1/arrays", &catalog); err != nil {
-			return fmt.Errorf("listing arrays: %w", err)
-		}
-		if len(catalog.Arrays) == 0 {
+		if len(names) == 0 {
 			return fmt.Errorf("server at %s has no arrays", *f.addr)
 		}
-		name = catalog.Arrays[0].Name
+		name = names[0]
 	}
 	// Seed the sub-dataset pool from the server's own index so the mix
 	// queries real keys; unknown keys are mixed in deliberately below.
@@ -170,7 +194,7 @@ func runLoadgen(args []string) error {
 			Sub string `json:"sub"`
 		} `json:"entries"`
 	}
-	if err := getJSON(client, base+"/v1/arrays/"+name+"/top?n=64", &top); err != nil {
+	if err := getJSON(client, router.baseFor(name)+"/v1/arrays/"+name+"/top?n=64", &top); err != nil {
 		return fmt.Errorf("fetching sub-dataset pool: %w", err)
 	}
 	subs := make([]string, 0, len(top.Entries))
@@ -188,6 +212,7 @@ func runLoadgen(args []string) error {
 		ok        int
 		httpErr   int
 		transport int
+		retries   int
 		lat       *metrics.Histogram
 	}
 	stats := make([]clientStats, *clients)
@@ -202,33 +227,24 @@ func runLoadgen(args []string) error {
 			hc := &http.Client{Timeout: 30 * time.Second}
 			for i := c; i < len(reqs); i += *clients {
 				q := reqs[i]
-				req, err := http.NewRequest(q.method, base+q.path, bytes.NewReader(q.body))
-				if err != nil {
-					st.transport++
-					continue
-				}
 				t0 := time.Now()
-				resp, err := hc.Do(req)
+				status, body, retried, err := router.do(hc, q, name)
 				if err != nil {
 					st.transport++
 					continue
 				}
-				body, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
 				st.lat.Observe(float64(time.Since(t0).Microseconds()) / 1e3)
-				if err != nil {
-					st.transport++
-					continue
-				}
-				if resp.StatusCode < 300 {
+				st.retries += retried
+				if status < 300 {
 					st.ok++
 				} else {
 					st.httpErr++
 				}
 				// Commutative digest: summing per-exchange FNV-64a hashes
-				// makes the result independent of client interleaving.
+				// makes the result independent of client interleaving. Each
+				// request is hashed once, with its final (post-retry) answer.
 				h := fnv.New64a()
-				fmt.Fprintf(h, "%s %s\x00%d\x00", q.method, q.path, resp.StatusCode)
+				fmt.Fprintf(h, "%s %s\x00%d\x00", q.method, q.path, status)
 				h.Write(q.body)
 				h.Write([]byte{0})
 				h.Write(body)
@@ -240,21 +256,23 @@ func runLoadgen(args []string) error {
 	wall := time.Since(start)
 
 	var digest uint64
-	var ok, httpErr, transport int
+	var ok, httpErr, transport, retried int
 	lat := metrics.NewHistogram()
 	for i := range stats {
 		digest += stats[i].digest
 		ok += stats[i].ok
 		httpErr += stats[i].httpErr
 		transport += stats[i].transport
+		retried += stats[i].retries
 		lat.Merge(stats[i].lat)
 	}
 	// Deterministic line first (compared across runs by tests), wall-clock
-	// measurements second.
+	// measurements second. Retries are wall-clock noise (failover windows),
+	// so they live on the second line.
 	fmt.Fprintf(stdout, "loadgen: %d requests to %q (%d clients, seed %d): %d ok, %d http-errors, %d transport-errors, digest %016x\n",
 		len(reqs), name, *clients, *seed, ok, httpErr, transport, digest)
-	fmt.Fprintf(stdout, "loadgen: wall %.2fs, %.0f req/s; latency ms p50 %.3f p95 %.3f p99 %.3f max %.3f\n",
-		wall.Seconds(), float64(len(reqs))/wall.Seconds(),
+	fmt.Fprintf(stdout, "loadgen: wall %.2fs, %.0f req/s, %d retries; latency ms p50 %.3f p95 %.3f p99 %.3f max %.3f\n",
+		wall.Seconds(), float64(len(reqs))/wall.Seconds(), retried,
 		lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99), lat.Max())
 	if transport > 0 {
 		return fmt.Errorf("loadgen: %d transport errors", transport)

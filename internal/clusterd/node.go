@@ -1,0 +1,301 @@
+package clusterd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"datanet/internal/cluster"
+	"datanet/internal/elasticmap"
+	"datanet/internal/server"
+)
+
+// Typed routing errors. The HTTP layer renders them as 503s with a
+// machine-readable kind and Retry-After; the chaos router counts them as
+// the (legal) unavailability window of a failover in progress.
+var (
+	// ErrNotLeader reports a write or read routed to a node that does not
+	// lead the array's shard — the client's topology is stale.
+	ErrNotLeader = errors.New("clusterd: not the shard leader")
+	// ErrNoLeader reports a shard with no live primary — mid-failover.
+	ErrNoLeader = errors.New("clusterd: shard has no leader")
+	// ErrNodeDown reports a request to a crashed node (the chaos analog
+	// of a connection refused).
+	ErrNodeDown = errors.New("clusterd: node is down")
+	// ErrUnknownArray mirrors server.ErrUnknownArray at cluster scope.
+	ErrUnknownArray = errors.New("clusterd: unknown array")
+)
+
+// Role is a node's duty for one shard, stamped with the fence it was
+// assigned under. A node refuses writes whose shard has re-fenced since.
+type Role struct {
+	Primary bool
+	Fence   uint64
+}
+
+// Node is the data plane of one cluster member: a snapshot-isolated
+// store holding every replica the node carries (primary and follower),
+// plus the shard roles and staleness floors the control plane pushed.
+// Reads are served node-locally (lock-free store loads after a brief
+// role check); all mutations arrive via the Cluster, which holds its own
+// lock first — the lock order is always Cluster.mu → Node.mu.
+type Node struct {
+	ID cluster.NodeID
+
+	mu    sync.Mutex
+	store *server.Store
+	roles map[int]Role
+	// expect is the per-array staleness floor: serving an epoch below it
+	// means the client may have already seen newer data (acked by a
+	// primary that died before shipping), so the response is flagged.
+	expect map[string]uint64
+	// next is the per-array epoch floor appends must clear — promotion
+	// sets it to the acked high-water mark so the first post-failover
+	// append jumps past every orphaned epoch.
+	next map[string]uint64
+	// down is ground truth (the chaos injector's crash state), never
+	// consulted by the control plane's belief machinery.
+	down bool
+	// registered flips once the control plane has told the node its
+	// roles (possibly "none"); /readyz gates on it.
+	registered bool
+
+	cacheSize int
+}
+
+func newNode(id cluster.NodeID, cacheSize int) *Node {
+	return &Node{
+		ID:        id,
+		store:     server.NewStore(cacheSize),
+		roles:     map[int]Role{},
+		expect:    map[string]uint64{},
+		next:      map[string]uint64{},
+		cacheSize: cacheSize,
+	}
+}
+
+// Store exposes the node's snapshot store (the embedded query API serves
+// straight from it).
+func (n *Node) Store() *server.Store {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store
+}
+
+// Role reports the node's duty for a shard.
+func (n *Node) Role(shard int) (Role, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.roles[shard]
+	return r, ok
+}
+
+// Ready is the node's readiness check: registered with the control plane
+// and not crashed.
+func (n *Node) Ready() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return ErrNodeDown
+	}
+	if !n.registered {
+		return errors.New("awaiting role assignment")
+	}
+	return nil
+}
+
+// LedShards lists the shards the node currently leads, ascending.
+func (n *Node) LedShards() []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []int
+	for s, r := range n.roles {
+		if r.Primary {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// isDown reads the truth plane.
+func (n *Node) isDown() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+func (n *Node) setDown(v bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = v
+}
+
+// reset wipes the node to a fresh process image: empty store, no roles.
+// The metadata service is in-memory, so a crashed node that restarts
+// comes back with nothing and resyncs from the current primaries.
+func (n *Node) reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.store = server.NewStore(n.cacheSize)
+	n.roles = map[int]Role{}
+	n.expect = map[string]uint64{}
+	n.next = map[string]uint64{}
+	n.registered = false
+}
+
+// setRole installs one shard duty; expect/nextFloor carry the staleness
+// floors of a promotion (nil for follower or initial assignments).
+func (n *Node) setRole(shard int, r Role, floors map[string]uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.roles[shard] = r
+	for name, e := range floors {
+		if e > n.expect[name] {
+			n.expect[name] = e
+		}
+		if e > n.next[name] {
+			n.next[name] = e
+		}
+	}
+	n.registered = true
+}
+
+// clearRole revokes one shard duty (deposition or follower removal).
+func (n *Node) clearRole(shard int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.roles, shard)
+}
+
+// markRegistered flips readiness for nodes that legitimately hold no
+// roles yet (a fresh addnode before any repair pulls it in).
+func (n *Node) markRegistered() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.registered = true
+}
+
+// Lookup is the node-local read path: resolve the array's snapshot if —
+// and only if — this node currently leads its shard. The stale flag
+// reports an epoch below the promotion floor: the data is real but older
+// than something a client may already have been acked.
+func (n *Node) Lookup(name string, shards int) (sn *server.Snapshot, stale bool, err error) {
+	shard := ShardOf(name, shards)
+	n.mu.Lock()
+	if n.down {
+		n.mu.Unlock()
+		return nil, false, ErrNodeDown
+	}
+	r, ok := n.roles[shard]
+	if !ok || !r.Primary {
+		n.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: shard %d", ErrNotLeader, shard)
+	}
+	floor := n.expect[name]
+	store := n.store
+	n.mu.Unlock()
+	sn, ok = store.Get(name)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q", ErrUnknownArray, name)
+	}
+	return sn, sn.Epoch < floor, nil
+}
+
+// appendLocal merges more into name at the next epoch above both the
+// current snapshot and the promotion floor, under a fence check: a
+// deposed primary whose shard re-fenced refuses the write. Caller holds
+// the cluster lock.
+func (n *Node) appendLocal(shard int, fence uint64, name string, more *elasticmap.Array) (*server.Snapshot, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return nil, ErrNodeDown
+	}
+	r, ok := n.roles[shard]
+	if !ok || !r.Primary || r.Fence != fence {
+		return nil, fmt.Errorf("%w: shard %d fenced", ErrNotLeader, shard)
+	}
+	prev, ok := n.store.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownArray, name)
+	}
+	epoch := prev.Epoch
+	if f := n.next[name]; f > epoch {
+		epoch = f
+	}
+	sn, err := n.store.PutEpoch(name, elasticmap.Merge(prev.Arr, more), epoch+1)
+	if err != nil {
+		return nil, err
+	}
+	// The write supersedes every orphaned epoch: clear the floors.
+	delete(n.next, name)
+	if sn.Epoch >= n.expect[name] {
+		delete(n.expect, name)
+	}
+	return sn, nil
+}
+
+// putLocal installs (or replaces) an array wholesale at the next epoch
+// above the floors, under the same fence discipline as appendLocal.
+func (n *Node) putLocal(shard int, fence uint64, name string, arr *elasticmap.Array) (*server.Snapshot, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return nil, ErrNodeDown
+	}
+	r, ok := n.roles[shard]
+	if !ok || !r.Primary || r.Fence != fence {
+		return nil, fmt.Errorf("%w: shard %d fenced", ErrNotLeader, shard)
+	}
+	var epoch uint64
+	if prev, ok := n.store.Get(name); ok {
+		epoch = prev.Epoch
+	}
+	if f := n.next[name]; f > epoch {
+		epoch = f
+	}
+	sn, err := n.store.PutEpoch(name, arr, epoch+1)
+	if err != nil {
+		return nil, err
+	}
+	delete(n.next, name)
+	if sn.Epoch >= n.expect[name] {
+		delete(n.expect, name)
+	}
+	return sn, nil
+}
+
+// applyReplica is the follower side of snapshot shipping: install the
+// shipped epoch if it advances the local copy. It returns the epoch the
+// follower now holds (its ack). A down node acks nothing.
+func (n *Node) applyReplica(name string, arr *elasticmap.Array, epoch uint64) (acked uint64, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return 0, false
+	}
+	if prev, ok := n.store.Get(name); ok && prev.Epoch >= epoch {
+		return prev.Epoch, true // duplicate or stale ship: already there
+	}
+	if _, err := n.store.PutEpoch(name, arr, epoch); err != nil {
+		return 0, false
+	}
+	return epoch, true
+}
+
+// localEpochs snapshots the node's applied epoch per array — the
+// freshness evidence promotion ranks candidates by.
+func (n *Node) localEpochs() map[string]uint64 {
+	n.mu.Lock()
+	store := n.store
+	n.mu.Unlock()
+	out := map[string]uint64{}
+	for _, name := range store.Names() {
+		if sn, ok := store.Get(name); ok {
+			out[name] = sn.Epoch
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package clusterd scales the single-process metadata service
+// (internal/server) into a sharded, replicated, self-healing cluster. The
+// array catalog is partitioned across N shards by a deterministic hash;
+// each shard's immutable epoch snapshots live on one primary and K
+// followers chosen by rendezvous (highest-random-weight) hashing; a
+// heartbeat failure detector (internal/detect.Tracker) drives failover —
+// when a primary is suspected, the freshest follower is promoted behind a
+// bumped fence and the shard map re-routes. An admin plane adds nodes and
+// decommissions them with graceful shard handoff.
+//
+// The whole control plane is driven by explicit Tick calls, so one code
+// path serves two regimes: the chaos harness advances a logical clock and
+// proves convergence invariants under randomized crash/rejoin/
+// decommission plans, and `datanet serve -cluster` feeds wall-clock time
+// to the very same state machine.
+//
+// Consistency contract (mirrors DESIGN.md §10): replication is
+// asynchronous snapshot shipping with epoch fencing. A primary acks an
+// append as soon as its own snapshot is published, so a crash can orphan
+// the newest epochs; after failover the promoted follower knows the
+// highest epoch ever acked (the shard's high-water mark travels with the
+// promotion) and serves anything older than it flagged as stale until new
+// appends move past the mark. Shipments carry the fence they were cut
+// under and are dropped on arrival if the shard has since re-fenced, so a
+// deposed primary can never overwrite its successor.
+package clusterd
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"datanet/internal/cluster"
+)
+
+// ShardOf maps an array name to its shard: FNV-64a modulo the shard
+// count. Clients (loadgen) compute the same function from the topology
+// view, so routing needs no per-array directory.
+func ShardOf(name string, shards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// rendezvousScore is the highest-random-weight score of (shard, node):
+// a splitmix64 finalizer over the pair. Deterministic across processes
+// and Go versions, like the chaos RNG it mirrors.
+func rendezvousScore(shard int, id cluster.NodeID) uint64 {
+	z := uint64(shard)*0x9e3779b97f4a7c15 + uint64(id)*0xd1342543de82ef95 + 0x2545f4914f6cdd1d
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rendezvousRank orders candidate nodes for a shard by descending score
+// (ties by lower ID, which cannot happen with distinct IDs but keeps the
+// sort total). The prefix of the ranking is the shard's desired replica
+// set: adding or removing one node perturbs only the shards whose ranking
+// the change actually enters — the consistent-hashing property that keeps
+// topology changes from reshuffling the whole catalog.
+func rendezvousRank(shard int, ids []cluster.NodeID) []cluster.NodeID {
+	out := append([]cluster.NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := rendezvousScore(shard, out[i]), rendezvousScore(shard, out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

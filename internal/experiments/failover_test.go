@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailoverSweep(t *testing.T) {
+	res, err := FailoverSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("got %d rows, want 3 detector arms × 3 replication factors", len(res.Rows))
+	}
+	byMode := map[string][]FailoverRow{}
+	for _, row := range res.Rows {
+		if !row.DataIntact {
+			t.Errorf("%s K=%d lost data", row.Mode, row.Replicas)
+		}
+		if row.DetectTicks <= 0 || row.PromoteTicks < row.DetectTicks || row.ConvergeTicks < row.PromoteTicks {
+			t.Errorf("%s K=%d windows out of order: detect=%g promote=%g converge=%g",
+				row.Mode, row.Replicas, row.DetectTicks, row.PromoteTicks, row.ConvergeTicks)
+		}
+		if row.Promotions < 1 {
+			t.Errorf("%s K=%d recorded no promotions for a crashed primary", row.Mode, row.Replicas)
+		}
+		byMode[row.Mode] = append(byMode[row.Mode], row)
+	}
+	// The aggressive heartbeat cannot detect slower than the lazy one at
+	// equal replication.
+	for i := range byMode["hb K=1"] {
+		if byMode["hb K=1"][i].DetectTicks > byMode["hb K=3"][i].DetectTicks {
+			t.Errorf("replicas=%d: hb K=1 detected in %g ticks, slower than hb K=3's %g",
+				byMode["hb K=1"][i].Replicas,
+				byMode["hb K=1"][i].DetectTicks, byMode["hb K=3"][i].DetectTicks)
+		}
+	}
+}
+
+// The sweep runs on the logical clock only: identical runs must render
+// identically, or the suite golden flakes.
+func TestFailoverSweepDeterministic(t *testing.T) {
+	a, err := FailoverSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FailoverSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic render:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a.String(), "Metadata failover") {
+		t.Fatalf("unexpected render:\n%s", a)
+	}
+}

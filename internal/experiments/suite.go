@@ -140,6 +140,10 @@ func suiteSections() []suiteSection {
 			r, err := DetectorSweep(MovieParams{})
 			return r, err
 		}},
+		{"failover-sweep", false, func(*Env) (fmt.Stringer, error) {
+			r, err := FailoverSweep()
+			return r, err
+		}},
 	}
 }
 

@@ -1,13 +1,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"datanet/internal/elasticmap"
@@ -34,11 +38,18 @@ type Server struct {
 	byEndpoint map[string]*endpointMetrics
 	cacheHits  metrics.Counter
 	cacheMiss  metrics.Counter
+	// ready gates /readyz; nil means "ready once the catalog holds an
+	// array" (the single-process default). Cluster nodes install a check
+	// that also requires a known shard role.
+	ready atomic.Pointer[func() error]
+	// draining refuses new writes while Drain waits out in-flight ones.
+	draining atomic.Bool
+	writers  sync.WaitGroup
 }
 
 // endpoint labels, in /v1/metrics order.
 var endpointLabels = []string{
-	"append", "arrays", "distribution", "estimate", "healthz", "info", "plan", "put", "top",
+	"append", "arrays", "distribution", "estimate", "healthz", "info", "plan", "put", "readyz", "top",
 }
 
 // New builds the service over store.
@@ -52,6 +63,7 @@ func New(store *Store) *Server {
 		s.byEndpoint[l] = &endpointMetrics{}
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /v1/arrays", s.instrument("arrays", s.handleArrays))
 	s.mux.HandleFunc("GET /v1/arrays/{name}", s.instrument("info", s.handleInfo))
 	s.mux.HandleFunc("GET /v1/arrays/{name}/estimate", s.instrument("estimate", s.handleEstimate))
@@ -72,10 +84,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// httpError carries a status code through handler returns.
+// httpError carries a status code — and, for typed 503s, a
+// machine-readable kind plus a retry hint — through handler returns.
 type httpError struct {
 	code int
 	msg  string
+	// kind is the machine-readable error class ("not_leader", "draining",
+	// "not_ready", …); empty for plain 4xx validation errors.
+	kind string
+	// retryAfter is the client backoff hint in seconds (Retry-After
+	// header + retryAfterMs body field); 0 omits both.
+	retryAfter float64
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -86,6 +105,48 @@ func badRequest(format string, args ...any) error {
 
 func notFound(format string, args ...any) error {
 	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// NotFound builds a typed 404. Exported for the cluster layer's handlers,
+// which sit outside this mux but must speak the same error shape.
+func NotFound(format string, args ...any) error {
+	return notFound(format, args...)
+}
+
+// Unavailable builds a typed 503 with a retry hint: the not-leader /
+// mid-failover / draining responses the cluster layer returns so clients
+// can tell a retryable routing miss from a real failure.
+func Unavailable(kind string, retryAfter float64, format string, args ...any) error {
+	return &httpError{
+		code: http.StatusServiceUnavailable, msg: fmt.Sprintf(format, args...),
+		kind: kind, retryAfter: retryAfter,
+	}
+}
+
+// ErrorBody is the JSON shape of every error response. Kind and
+// RetryAfterMs appear only on typed unavailability errors.
+type ErrorBody struct {
+	Error        string `json:"error"`
+	Kind         string `json:"kind,omitempty"`
+	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
+}
+
+// WriteError renders err as its JSON body (with Retry-After header when
+// the error carries a hint). Exported for the cluster layer's handlers,
+// which sit outside this mux but must speak the same error shape.
+func WriteError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	body := ErrorBody{Error: err.Error()}
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+		body.Kind = he.kind
+		if he.retryAfter > 0 {
+			body.RetryAfterMs = int64(he.retryAfter * 1000)
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(he.retryAfter))))
+		}
+	}
+	writeJSON(w, code, body)
 }
 
 // instrument wraps a handler with per-endpoint counting and latency
@@ -100,12 +161,7 @@ func (s *Server) instrument(label string, h func(r *http.Request) ([]byte, error
 		em.latency.Observe(time.Since(start).Seconds())
 		if err != nil {
 			em.errors.Inc()
-			code := http.StatusBadRequest
-			var he *httpError
-			if errors.As(err, &he) {
-				code = he.code
-			}
-			writeJSON(w, code, map[string]string{"error": err.Error()})
+			WriteError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -156,12 +212,88 @@ func (s *Server) cached(sn *Snapshot, key string, compute func() []byte) []byte 
 	return body
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// Orchestrators restart on healthz failure; they route on readyz.
 func (s *Server) handleHealthz(*http.Request) ([]byte, error) {
 	return marshal(map[string]bool{"ok": true}), nil
 }
 
-// arrayInfo is the catalog row of one array.
-type arrayInfo struct {
+// SetReady installs the readiness check /readyz consults. A nil check
+// restores the default (catalog non-empty).
+func (s *Server) SetReady(check func() error) {
+	if check == nil {
+		s.ready.Store(nil)
+		return
+	}
+	s.ready.Store(&check)
+}
+
+// handleReadyz is readiness: 503 until the catalog is loaded and — when a
+// cluster node installed its own check — the node knows its shard role.
+// Draining flips it back to 503 so load balancers stop sending traffic
+// before shutdown completes.
+func (s *Server) handleReadyz(*http.Request) ([]byte, error) {
+	if s.draining.Load() {
+		return nil, Unavailable("draining", 1, "shutting down")
+	}
+	if check := s.ready.Load(); check != nil {
+		if err := (*check)(); err != nil {
+			return nil, Unavailable("not_ready", 1, "not ready: %v", err)
+		}
+	} else if s.store.Len() == 0 {
+		return nil, Unavailable("not_ready", 1, "not ready: catalog empty")
+	}
+	return marshal(map[string]bool{"ready": true}), nil
+}
+
+// beginWrite gates one mutating request: refused while draining, counted
+// otherwise so Drain can wait for it. endWrite is its release.
+func (s *Server) beginWrite() error {
+	if s.draining.Load() {
+		return Unavailable("draining", 1, "shutting down")
+	}
+	s.writers.Add(1)
+	// Re-check after joining the group: Drain may have flipped the flag
+	// between our check and Add, and it must not wait on us forever while
+	// we proceed to mutate a catalog being torn down.
+	if s.draining.Load() {
+		s.writers.Done()
+		return Unavailable("draining", 1, "shutting down")
+	}
+	return nil
+}
+
+func (s *Server) endWrite() { s.writers.Done() }
+
+// BeginWrite and EndWrite expose the drain gate to the cluster layer,
+// whose append path routes around the embedded mux handlers but must
+// still be waited out by Drain.
+func (s *Server) BeginWrite() error { return s.beginWrite() }
+
+// EndWrite releases a BeginWrite.
+func (s *Server) EndWrite() { s.endWrite() }
+
+// Drain stops admitting appends/puts and blocks until every in-flight one
+// has published its snapshot, or ctx expires. Call before releasing the
+// store on shutdown: a drained server's catalog pointer is quiescent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.writers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// ArrayInfo is the catalog row of one array. Exported for the cluster
+// layer, whose listing filters a node's catalog to the shards it leads.
+type ArrayInfo struct {
 	Name         string  `json:"name"`
 	Epoch        uint64  `json:"epoch"`
 	Blocks       int     `json:"blocks"`
@@ -171,8 +303,8 @@ type arrayInfo struct {
 	MeanAlpha    float64 `json:"meanAlpha"`
 }
 
-func infoOf(sn *Snapshot) arrayInfo {
-	return arrayInfo{
+func InfoOf(sn *Snapshot) ArrayInfo {
+	return ArrayInfo{
 		Name:         sn.Name,
 		Epoch:        sn.Epoch,
 		Blocks:       sn.Arr.Len(),
@@ -185,10 +317,10 @@ func infoOf(sn *Snapshot) arrayInfo {
 
 func (s *Server) handleArrays(*http.Request) ([]byte, error) {
 	names := s.store.Names()
-	infos := make([]arrayInfo, 0, len(names))
+	infos := make([]ArrayInfo, 0, len(names))
 	for _, name := range names {
 		if sn, ok := s.store.Get(name); ok {
-			infos = append(infos, infoOf(sn))
+			infos = append(infos, InfoOf(sn))
 		}
 	}
 	return marshal(map[string]any{"arrays": infos}), nil
@@ -199,7 +331,7 @@ func (s *Server) handleInfo(r *http.Request) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return marshal(infoOf(sn)), nil
+	return marshal(InfoOf(sn)), nil
 }
 
 // estimateResponse answers Eq. 6 for one sub-dataset.
@@ -336,6 +468,10 @@ func (s *Server) handleAppend(r *http.Request) ([]byte, error) {
 	if err != nil {
 		return nil, badRequest("decoding appended array: %v", err)
 	}
+	if err := s.beginWrite(); err != nil {
+		return nil, err
+	}
+	defer s.endWrite()
 	sn, err := s.store.Append(name, more)
 	if errors.Is(err, ErrUnknownArray) {
 		return nil, notFound("unknown array %q", name)
@@ -358,6 +494,10 @@ func (s *Server) handlePut(r *http.Request) ([]byte, error) {
 	if err != nil {
 		return nil, badRequest("decoding array: %v", err)
 	}
+	if err := s.beginWrite(); err != nil {
+		return nil, err
+	}
+	defer s.endWrite()
 	sn := s.store.Put(name, arr)
 	return marshal(map[string]any{"name": name, "epoch": sn.Epoch, "blocks": sn.Arr.Len()}), nil
 }

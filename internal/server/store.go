@@ -24,6 +24,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -133,6 +134,33 @@ func (s *Store) Put(name string, arr *elasticmap.Array) *Snapshot {
 	snap := s.newSnapshot(name, epoch, arr)
 	e.snap.Store(snap)
 	return snap
+}
+
+// PutEpoch installs arr under name at an exact epoch instead of the
+// next-in-sequence one. This is the replication apply path: a follower
+// mirrors the primary's epoch numbering so a promoted follower continues
+// the same sequence, and a promoted-but-stale primary can jump its
+// counter past epochs it never received. Installing an epoch at or below
+// the current one is refused — snapshot shipping only ever moves forward.
+func (s *Store) PutEpoch(name string, arr *elasticmap.Array, epoch uint64) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cat := *s.catalog.Load()
+	e, ok := cat[name]
+	if !ok {
+		next := make(map[string]*entry, len(cat)+1)
+		for k, v := range cat {
+			next[k] = v
+		}
+		e = &entry{}
+		next[name] = e
+		defer s.catalog.Store(&next)
+	} else if prev := e.snap.Load(); prev != nil && prev.Epoch >= epoch {
+		return nil, fmt.Errorf("server: PutEpoch %q epoch %d not above current %d", name, epoch, prev.Epoch)
+	}
+	snap := s.newSnapshot(name, epoch, arr)
+	e.snap.Store(snap)
+	return snap, nil
 }
 
 // Append extends name's array with the blocks of more (an encoded-array
