@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"datanet/internal/detect"
 	"datanet/internal/elasticmap"
 	"datanet/internal/faults"
+	"datanet/internal/obs"
 	"datanet/internal/server"
 )
 
@@ -40,6 +42,7 @@ type clusterServer struct {
 	mu       sync.Mutex
 	c        *clusterd.Cluster
 	host     string
+	pprof    bool
 	handlers map[cluster.NodeID]*clusterd.Handler
 	srvs     map[cluster.NodeID]*http.Server
 }
@@ -62,7 +65,14 @@ func (cs *clusterServer) bootNode(id cluster.NodeID, addr string) (string, error
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: h}
+	var handler http.Handler = h
+	if cs.pprof {
+		mux := http.NewServeMux()
+		mountPprof(mux)
+		mux.Handle("/", h)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 	cs.c.SetAddr(id, ln.Addr().String())
 	cs.mu.Lock()
@@ -98,13 +108,14 @@ func (cs *clusterServer) shutdown() error {
 // HTTP API behind a leadership gate, and an admin plane for topology,
 // node addition and decommissioning. The first node takes the requested
 // address; the rest bind ephemeral ports on the same host.
-func serveCluster(ctx context.Context, addr string, metas []string, cacheSize, nodes, replicas, shards int, ready func(addr string)) error {
+func serveCluster(ctx context.Context, addr string, metas []string, cacheSize, nodes, replicas, shards int, ready func(addr string), o obsOptions) error {
 	c, err := clusterd.New(clusterd.Config{
 		Shards: shards, Replicas: replicas, CacheSize: cacheSize,
 		Detect: detect.Config{
 			Mode: detect.Heartbeat, Interval: clusterHBInterval, Timeout: clusterHBTimeout,
 		},
 		ShipDelay: clusterShipDelaySec,
+		Logger:    o.logger,
 	}, nodes)
 	if err != nil {
 		return err
@@ -133,7 +144,7 @@ func serveCluster(ctx context.Context, addr string, metas []string, cacheSize, n
 		return fmt.Errorf("bad -addr %q: %w", addr, err)
 	}
 	cs := &clusterServer{
-		c: c, host: host,
+		c: c, host: host, pprof: o.pprof,
 		handlers: map[cluster.NodeID]*clusterd.Handler{},
 		srvs:     map[cluster.NodeID]*http.Server{},
 	}
@@ -249,48 +260,55 @@ func (r *loadgenRouter) baseFor(name string) string {
 // do executes one loadgen request against whichever node currently
 // serves the array, retrying the typed failover 503s with the capped
 // exponential backoff of faults.RetryPolicy (refreshing the shard map
-// between attempts so a promoted primary is found). The returned status
-// and body are the final exchange — what the digest should hash.
-func (r *loadgenRouter) do(hc *http.Client, q genRequest, name string) (status int, body []byte, retried int, err error) {
+// between attempts so a promoted primary is found). Each attempt carries
+// the request ID and attempt number, so server-side spans correlate with
+// the loadgen mix and count retries. The returned status and body are
+// the final exchange — what the digest should hash; retryKinds lists the
+// typed-503 kind behind each retry, for the retries-by-kind report.
+func (r *loadgenRouter) do(hc *http.Client, q genRequest, name string) (status int, body []byte, retryKinds []string, err error) {
 	for attempt := 1; ; attempt++ {
 		req, err := http.NewRequest(q.method, r.baseFor(name)+q.path, bytes.NewReader(q.body))
 		if err != nil {
-			return 0, nil, retried, err
+			return 0, nil, retryKinds, err
+		}
+		if q.id != "" {
+			req.Header.Set(obs.RequestIDHeader, q.id)
+			req.Header.Set(obs.AttemptHeader, strconv.Itoa(attempt))
 		}
 		resp, err := hc.Do(req)
 		if err != nil {
-			return 0, nil, retried, err
+			return 0, nil, retryKinds, err
 		}
 		body, rerr := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if rerr != nil {
-			return 0, nil, retried, rerr
+			return 0, nil, retryKinds, rerr
 		}
-		if retryable503(resp.StatusCode, body) && attempt < r.policy.MaxAttempts {
-			retried++
+		if kind, ok := retryable503(resp.StatusCode, body); ok && attempt < r.policy.MaxAttempts {
+			retryKinds = append(retryKinds, kind)
 			time.Sleep(time.Duration(r.policy.Delay(attempt) * float64(time.Second)))
 			r.refresh()
 			continue
 		}
-		return resp.StatusCode, body, retried, nil
+		return resp.StatusCode, body, retryKinds, nil
 	}
 }
 
 // retryable503 reports whether a response is a typed failover-window 503
-// worth retrying after a topology refresh.
-func retryable503(status int, body []byte) bool {
+// worth retrying after a topology refresh, and which kind it was.
+func retryable503(status int, body []byte) (string, bool) {
 	if status != http.StatusServiceUnavailable {
-		return false
+		return "", false
 	}
 	var eb server.ErrorBody
 	if json.Unmarshal(body, &eb) != nil {
-		return false
+		return "", false
 	}
 	switch eb.Kind {
 	case "not_leader", "no_leader", "node_down", "draining", "not_ready":
-		return true
+		return eb.Kind, true
 	}
-	return false
+	return "", false
 }
 
 // clusterCatalog unions the per-node catalogs (each node lists only the

@@ -88,7 +88,10 @@ func usage() {
           [-cluster N [-replicas K] [-shards S]]  (sharded-cluster invariants)
   serve   -meta NAME=FILE [-meta NAME=FILE ...] [-addr HOST:PORT] [-cache N]
           [-cluster N [-replicas K] [-shards S]]  (sharded, replicated serving)
+          [-log-level off|debug|info|warn|error] [-pprof]
+          (Prometheus /metrics per node, cluster rollup + span dumps under /admin)
   loadgen [-addr HOST:PORT] [-array NAME] [-clients N] [-requests N] [-seed S]
+          [-profile cpu=FILE|heap=FILE]
           (shard-routes and retries typed 503s automatically against a cluster)`)
 	os.Exit(2)
 }

@@ -7,11 +7,16 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
+	nhpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	rtpprof "runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -19,6 +24,7 @@ import (
 
 	"datanet/internal/elasticmap"
 	"datanet/internal/metrics"
+	"datanet/internal/obs"
 	"datanet/internal/server"
 )
 
@@ -35,6 +41,8 @@ type serveFlags struct {
 	addr     *string
 	cache    *int
 	cluster  *int
+	logLevel *string
+	pprof    *bool
 	replicas *int
 	shards   *int
 	metas    multiFlag
@@ -45,10 +53,21 @@ func newServeFlags() *serveFlags {
 	f.addr = f.fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	f.cache = f.fs.Int("cache", server.DefaultCacheSize, "per-epoch result-cache entries per array")
 	f.cluster = f.fs.Int("cluster", 0, "serve as an N-node sharded cluster instead of a single process (0 = single)")
+	f.logLevel = f.fs.String("log-level", "off", "structured request/event log to stderr: off | debug | info | warn | error")
+	f.pprof = f.fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on every node")
 	f.replicas = f.fs.Int("replicas", 1, "followers per shard in cluster mode")
 	f.shards = f.fs.Int("shards", 4, "catalog shards in cluster mode")
 	f.fs.Var(&f.metas, "meta", "NAME=FILE: serve the encoded ElasticMap array FILE as NAME (repeatable)")
 	return f
+}
+
+// obsOptions carries the serving observability knobs. The zero value —
+// no logger, no pprof — is the deterministic default the loadgen/chaos
+// goldens rely on; tracing itself is always on (bounded ring, wall-clock
+// only, invisible to response bodies).
+type obsOptions struct {
+	logger *slog.Logger
+	pprof  bool
 }
 
 // runServe loads encoded ElasticMap arrays and serves the metadata query
@@ -59,18 +78,32 @@ func runServe(args []string) error {
 	if len(f.metas) == 0 {
 		return fmt.Errorf("at least one -meta NAME=FILE is required")
 	}
+	logger, err := obs.NewLogger(*f.logLevel, os.Stderr)
+	if err != nil {
+		return err
+	}
+	o := obsOptions{logger: logger, pprof: *f.pprof}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *f.cluster > 0 {
-		return serveCluster(ctx, *f.addr, f.metas, *f.cache, *f.cluster, *f.replicas, *f.shards, nil)
+		return serveCluster(ctx, *f.addr, f.metas, *f.cache, *f.cluster, *f.replicas, *f.shards, nil, o)
 	}
-	return serve(ctx, *f.addr, f.metas, *f.cache, nil)
+	return serve(ctx, *f.addr, f.metas, *f.cache, nil, o)
+}
+
+// mountPprof exposes the standard net/http/pprof handlers on mux.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
 }
 
 // serve is the signal-free core of runServe: it blocks until ctx is
 // canceled or the listener fails. Tests pass a cancelable ctx and a ready
 // hook to learn the bound address when -addr ends in :0.
-func serve(ctx context.Context, addr string, metas []string, cacheSize int, ready func(addr string)) error {
+func serve(ctx context.Context, addr string, metas []string, cacheSize int, ready func(addr string), o obsOptions) error {
 	store := server.NewStore(cacheSize)
 	for _, spec := range metas {
 		name, path, ok := strings.Cut(spec, "=")
@@ -97,7 +130,23 @@ func serve(ctx context.Context, addr string, metas []string, cacheSize int, read
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
-	srv := &http.Server{Handler: server.New(store)}
+	// Observability plane: every request flows through the tracing
+	// middleware into the API server; the admin routes (span dumps, the
+	// Prometheus view without runtime gauges, optional pprof) bypass it so
+	// scraping never perturbs the numbers being scraped.
+	api := server.New(store)
+	tracer := obs.NewTracer(obs.DefaultRingSize, obs.DefaultSlowK)
+	mux := http.NewServeMux()
+	mux.Handle("/admin/trace", obs.TraceHandler(tracer))
+	mux.HandleFunc("/admin/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.Write(server.RenderProm(api.DumpMetrics(), false))
+	})
+	if o.pprof {
+		mountPprof(mux)
+	}
+	mux.Handle("/", obs.Middleware(tracer, -1, o.logger, api))
+	srv := &http.Server{Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -113,12 +162,18 @@ func serve(ctx context.Context, addr string, metas []string, cacheSize int, read
 // genRequest is one pre-generated loadgen request. The whole request list
 // is derived from -seed before any client starts, so the mix — and, since
 // the API is read-only and snapshot-consistent, every response — is a pure
-// function of the seed.
+// function of the seed. kind labels the endpoint for the per-endpoint
+// latency report; id is the request ID the router stamps on the wire.
 type genRequest struct {
 	method string
 	path   string
 	body   []byte
+	kind   string
+	id     string
 }
+
+// loadgenKinds is the fixed reporting order of the per-endpoint lines.
+var loadgenKinds = []string{"estimate", "distribution", "top", "info", "plan"}
 
 // loadgenFlags holds the loadgen flag set (see serveFlags).
 type loadgenFlags struct {
@@ -126,6 +181,7 @@ type loadgenFlags struct {
 	addr      *string
 	array     *string
 	clients   *int
+	profile   *string
 	requests  *int
 	seed      *int64
 	planNodes *int
@@ -136,10 +192,49 @@ func newLoadgenFlags() *loadgenFlags {
 	f.addr = f.fs.String("addr", "127.0.0.1:8080", "server address host:port")
 	f.array = f.fs.String("array", "", "array to query (default: first name in the server catalog)")
 	f.clients = f.fs.Int("clients", 8, "concurrent client goroutines")
+	f.profile = f.fs.String("profile", "", "cpu=FILE or heap=FILE: write a pprof profile of the loadgen run")
 	f.requests = f.fs.Int("requests", 1000, "total requests across all clients")
 	f.seed = f.fs.Int64("seed", 1, "query-mix seed; the summary line is a pure function of it")
 	f.planNodes = f.fs.Int("plan-nodes", 8, "cluster size used by generated plan requests")
 	return f
+}
+
+// startProfile interprets -profile: "cpu=FILE" profiles the whole run,
+// "heap=FILE" snapshots the heap after it. stop runs once the run ends.
+func startProfile(spec string) (stop func() error, err error) {
+	mode, path, ok := strings.Cut(spec, "=")
+	if !ok || path == "" {
+		return nil, fmt.Errorf("bad -profile %q (want cpu=FILE or heap=FILE)", spec)
+	}
+	switch mode {
+	case "cpu":
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := rtpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return func() error {
+			rtpprof.StopCPUProfile()
+			return f.Close()
+		}, nil
+	case "heap":
+		return func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := rtpprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown -profile mode %q (want cpu or heap)", mode)
 }
 
 // runLoadgen fires a seeded query mix at a running serve instance from N
@@ -206,14 +301,29 @@ func runLoadgen(args []string) error {
 	}
 
 	reqs := generateMix(rand.New(rand.NewSource(*seed)), name, subs, *requests, *planNodes)
+	// Request IDs propagate end to end (X-Datanet-Request-Id): a span in
+	// any node's /admin/trace names the loadgen request that caused it.
+	for i := range reqs {
+		reqs[i].id = fmt.Sprintf("lg%d-%04d", *seed, i)
+	}
+
+	var stopProfile func() error
+	if *f.profile != "" {
+		var err error
+		if stopProfile, err = startProfile(*f.profile); err != nil {
+			return err
+		}
+	}
 
 	type clientStats struct {
-		digest    uint64
-		ok        int
-		httpErr   int
-		transport int
-		retries   int
-		lat       *metrics.Histogram
+		digest     uint64
+		ok         int
+		httpErr    int
+		transport  int
+		retries    int
+		lat        *metrics.Histogram
+		perKind    map[string]*metrics.Histogram
+		retryKinds map[string]int
 	}
 	stats := make([]clientStats, *clients)
 	var wg sync.WaitGroup
@@ -224,17 +334,29 @@ func runLoadgen(args []string) error {
 			defer wg.Done()
 			st := &stats[c]
 			st.lat = metrics.NewHistogram()
+			st.perKind = map[string]*metrics.Histogram{}
+			st.retryKinds = map[string]int{}
 			hc := &http.Client{Timeout: 30 * time.Second}
 			for i := c; i < len(reqs); i += *clients {
 				q := reqs[i]
 				t0 := time.Now()
-				status, body, retried, err := router.do(hc, q, name)
+				status, body, retryKinds, err := router.do(hc, q, name)
 				if err != nil {
 					st.transport++
 					continue
 				}
-				st.lat.Observe(float64(time.Since(t0).Microseconds()) / 1e3)
-				st.retries += retried
+				ms := float64(time.Since(t0).Microseconds()) / 1e3
+				st.lat.Observe(ms)
+				kh := st.perKind[q.kind]
+				if kh == nil {
+					kh = metrics.NewHistogram()
+					st.perKind[q.kind] = kh
+				}
+				kh.Observe(ms)
+				st.retries += len(retryKinds)
+				for _, k := range retryKinds {
+					st.retryKinds[k]++
+				}
 				if status < 300 {
 					st.ok++
 				} else {
@@ -254,10 +376,17 @@ func runLoadgen(args []string) error {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if stopProfile != nil {
+		if err := stopProfile(); err != nil {
+			return err
+		}
+	}
 
 	var digest uint64
 	var ok, httpErr, transport, retried int
 	lat := metrics.NewHistogram()
+	perKind := map[string]*metrics.Histogram{}
+	retryKinds := map[string]int{}
 	for i := range stats {
 		digest += stats[i].digest
 		ok += stats[i].ok
@@ -265,6 +394,15 @@ func runLoadgen(args []string) error {
 		transport += stats[i].transport
 		retried += stats[i].retries
 		lat.Merge(stats[i].lat)
+		for k, h := range stats[i].perKind {
+			if perKind[k] == nil {
+				perKind[k] = metrics.NewHistogram()
+			}
+			perKind[k].Merge(h)
+		}
+		for k, n := range stats[i].retryKinds {
+			retryKinds[k] += n
+		}
 	}
 	// Deterministic line first (compared across runs by tests), wall-clock
 	// measurements second. Retries are wall-clock noise (failover windows),
@@ -274,6 +412,30 @@ func runLoadgen(args []string) error {
 	fmt.Fprintf(stdout, "loadgen: wall %.2fs, %.0f req/s, %d retries; latency ms p50 %.3f p95 %.3f p99 %.3f max %.3f\n",
 		wall.Seconds(), float64(len(reqs))/wall.Seconds(), retried,
 		lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99), lat.Max())
+	for _, k := range loadgenKinds {
+		h := perKind[k]
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(stdout, "loadgen: endpoint %s: %d reqs; latency ms p50 %.3f p90 %.3f p99 %.3f max %.3f\n",
+			k, h.Count(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+	}
+	if len(retryKinds) > 0 {
+		kinds := make([]string, 0, len(retryKinds))
+		for k := range retryKinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, 0, len(kinds))
+		for _, k := range kinds {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, retryKinds[k]))
+		}
+		fmt.Fprintf(stdout, "loadgen: retries by kind: %s\n", strings.Join(parts, " "))
+	}
+	if *f.profile != "" {
+		mode, path, _ := strings.Cut(*f.profile, "=")
+		fmt.Fprintf(stdout, "loadgen: %s profile written to %s\n", mode, path)
+	}
 	if transport > 0 {
 		return fmt.Errorf("loadgen: %d transport errors", transport)
 	}
@@ -292,26 +454,26 @@ func generateMix(rng *rand.Rand, name string, subs []string, n, planNodes int) [
 		sub := subs[rng.Intn(len(subs))]
 		switch p := rng.Intn(100); {
 		case p < 35:
-			reqs = append(reqs, genRequest{"GET", prefix + "/estimate?sub=" + sub, nil})
+			reqs = append(reqs, genRequest{method: "GET", path: prefix + "/estimate?sub=" + sub, kind: "estimate"})
 		case p < 60:
-			reqs = append(reqs, genRequest{"GET", prefix + "/distribution?sub=" + sub, nil})
+			reqs = append(reqs, genRequest{method: "GET", path: prefix + "/distribution?sub=" + sub, kind: "distribution"})
 		case p < 72:
-			reqs = append(reqs, genRequest{"GET", fmt.Sprintf("%s/top?n=%d", prefix, 1+rng.Intn(16)), nil})
+			reqs = append(reqs, genRequest{method: "GET", path: fmt.Sprintf("%s/top?n=%d", prefix, 1+rng.Intn(16)), kind: "top"})
 		case p < 80:
-			reqs = append(reqs, genRequest{"GET", prefix, nil})
+			reqs = append(reqs, genRequest{method: "GET", path: prefix, kind: "info"})
 		case p < 90:
 			body, _ := json.Marshal(map[string]any{
 				"sub":       sub,
 				"nodes":     planNodes,
 				"scheduler": schedulers[rng.Intn(len(schedulers))],
 			})
-			reqs = append(reqs, genRequest{"POST", prefix + "/plan", body})
+			reqs = append(reqs, genRequest{method: "POST", path: prefix + "/plan", body: body, kind: "plan"})
 		case p < 96:
-			reqs = append(reqs, genRequest{"GET",
-				fmt.Sprintf("%s/estimate?sub=loadgen-missing-%d", prefix, rng.Intn(1000)), nil})
+			reqs = append(reqs, genRequest{method: "GET",
+				path: fmt.Sprintf("%s/estimate?sub=loadgen-missing-%d", prefix, rng.Intn(1000)), kind: "estimate"})
 		default:
 			// Deliberately malformed: missing sub parameter → 400.
-			reqs = append(reqs, genRequest{"GET", prefix + "/estimate", nil})
+			reqs = append(reqs, genRequest{method: "GET", path: prefix + "/estimate", kind: "estimate"})
 		}
 	}
 	return reqs

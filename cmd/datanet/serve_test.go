@@ -96,7 +96,7 @@ func TestServeLoadgenSmoke(t *testing.T) {
 	serveErr := make(chan error, 1)
 	go func() {
 		serveErr <- serve(ctx, "127.0.0.1:0", []string{"reviews=" + meta}, 64,
-			func(a string) { addrCh <- a })
+			func(a string) { addrCh <- a }, obsOptions{})
 	}()
 	var addr string
 	select {
@@ -115,11 +115,20 @@ func TestServeLoadgenSmoke(t *testing.T) {
 			t.Fatalf("loadgen: %v\n%s", err, buf)
 		}
 		lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-		if len(lines) != 2 {
-			t.Fatalf("loadgen printed %d lines, want 2:\n%s", len(lines), buf)
+		if len(lines) < 3 {
+			t.Fatalf("loadgen printed %d lines, want summary + wall-clock + per-endpoint:\n%s", len(lines), buf)
 		}
 		if !strings.Contains(lines[1], "req/s") || !strings.Contains(lines[1], "latency ms") {
 			t.Fatalf("second line is not the wall-clock report: %q", lines[1])
+		}
+		var endpoints int
+		for _, l := range lines[2:] {
+			if strings.HasPrefix(l, "loadgen: endpoint ") && strings.Contains(l, "p90") {
+				endpoints++
+			}
+		}
+		if endpoints == 0 {
+			t.Fatalf("no per-endpoint latency lines:\n%s", buf)
 		}
 		return lines[0]
 	}
@@ -154,11 +163,11 @@ func TestServeLoadgenSmoke(t *testing.T) {
 func TestServeBadMeta(t *testing.T) {
 	ctx := context.Background()
 	for _, spec := range []string{"noequals", "=path", "name="} {
-		if err := serve(ctx, "127.0.0.1:0", []string{spec}, 8, nil); err == nil {
+		if err := serve(ctx, "127.0.0.1:0", []string{spec}, 8, nil, obsOptions{}); err == nil {
 			t.Errorf("serve accepted bad -meta %q", spec)
 		}
 	}
-	if err := serve(ctx, "127.0.0.1:0", []string{"x=" + filepath.Join(t.TempDir(), "nope.em")}, 8, nil); err == nil {
+	if err := serve(ctx, "127.0.0.1:0", []string{"x=" + filepath.Join(t.TempDir(), "nope.em")}, 8, nil, obsOptions{}); err == nil {
 		t.Error("serve accepted a missing meta file")
 	}
 	corrupt := filepath.Join(t.TempDir(), "bad.em")
@@ -167,7 +176,7 @@ func TestServeBadMeta(t *testing.T) {
 	}
 	stdout = &bytes.Buffer{}
 	defer func() { stdout = os.Stdout }()
-	if err := serve(ctx, "127.0.0.1:0", []string{"x=" + corrupt}, 8, nil); err == nil {
+	if err := serve(ctx, "127.0.0.1:0", []string{"x=" + corrupt}, 8, nil, obsOptions{}); err == nil {
 		t.Error("serve accepted a corrupt meta file")
 	}
 }

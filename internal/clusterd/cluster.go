@@ -3,6 +3,7 @@ package clusterd
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
@@ -35,6 +36,10 @@ type Config struct {
 	ShipDelay float64
 	// CacheSize sizes each node store's per-epoch result caches.
 	CacheSize int
+	// Logger, when non-nil, receives structured control-plane events
+	// (suspicions, failovers, membership changes). Nil — the default —
+	// keeps the control plane silent, which the chaos goldens rely on.
+	Logger *slog.Logger
 }
 
 // WithDefaults fills zero fields.
@@ -136,6 +141,11 @@ type Cluster struct {
 	now     float64
 	nextID  cluster.NodeID
 	gen     uint64
+	log     *slog.Logger
+
+	// metricsSources maps node → its serving layer's metric dump hook;
+	// the /admin/metrics rollup merges them in ascending node order.
+	metricsSources map[cluster.NodeID]func() server.MetricsDump
 
 	promotions     int
 	handoffs       int
@@ -158,12 +168,14 @@ func New(cfg Config, n int) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		members: make(map[cluster.NodeID]*member, n),
-		shards:  make([]*shardState, cfg.Shards),
-		tracker: tracker,
-		pending: map[shipKey]bool{},
-		gen:     1,
+		cfg:            cfg,
+		members:        make(map[cluster.NodeID]*member, n),
+		shards:         make([]*shardState, cfg.Shards),
+		tracker:        tracker,
+		pending:        map[shipKey]bool{},
+		gen:            1,
+		log:            cfg.Logger,
+		metricsSources: map[cluster.NodeID]func() server.MetricsDump{},
 	}
 	ids := make([]cluster.NodeID, n)
 	for i := 0; i < n; i++ {
@@ -203,6 +215,48 @@ func New(cfg Config, n int) (*Cluster, error) {
 
 // Shards returns the shard count (ShardOf's modulus for this cluster).
 func (c *Cluster) Shards() int { return c.cfg.Shards }
+
+// Logger returns the configured event logger, nil when logging is off.
+func (c *Cluster) Logger() *slog.Logger { return c.log }
+
+// logEvent emits one structured control-plane event when logging is on.
+// Callers hold c.mu; the handler writes outside any cluster state.
+func (c *Cluster) logEvent(msg string, args ...any) {
+	if c.log != nil {
+		c.log.Info(msg, args...)
+	}
+}
+
+// RegisterMetricsSource hooks a node's metric dump into the cluster-wide
+// rollup. The serving layer registers each node's server.DumpMetrics.
+func (c *Cluster) RegisterMetricsSource(id cluster.NodeID, fn func() server.MetricsDump) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metricsSources[id] = fn
+}
+
+// MetricsDumps snapshots every registered node's metrics, ascending by
+// node ID — the fixed merge order the rollup-equality test relies on.
+// The dumps are taken outside the cluster lock (the serving layer has
+// its own synchronization), so a scrape cannot stall the control plane.
+func (c *Cluster) MetricsDumps() []server.MetricsDump {
+	c.mu.Lock()
+	ids := make([]cluster.NodeID, 0, len(c.metricsSources))
+	for id := range c.metricsSources {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	fns := make([]func() server.MetricsDump, 0, len(ids))
+	for _, id := range ids {
+		fns = append(fns, c.metricsSources[id])
+	}
+	c.mu.Unlock()
+	out := make([]server.MetricsDump, 0, len(fns))
+	for _, fn := range fns {
+		out = append(out, fn())
+	}
+	return out
+}
 
 // RetryHint is the backoff the typed 503s suggest to clients: one
 // heartbeat interval, the granularity at which routing state changes.
@@ -506,6 +560,7 @@ func (c *Cluster) onSuspect(id cluster.NodeID) {
 		return
 	}
 	m.suspected = true
+	c.logEvent("node suspected", "node", int(id), "now", c.now)
 	for si, s := range c.shards {
 		if s.primary == id {
 			c.failover(si)
@@ -526,6 +581,7 @@ func (c *Cluster) failover(si int) {
 		c.gen++
 		s.primary = -1
 		c.depose(old, si)
+		c.logEvent("shard leaderless", "shard", si, "fence", s.fence, "deposed", int(old))
 		return
 	}
 	c.promotions++
@@ -600,6 +656,9 @@ func (c *Cluster) promote(si int, winner, old cluster.NodeID, graceful bool) {
 	}
 	wm.node.setRole(si, Role{Primary: true, Fence: s.fence}, floors)
 	s.primary = winner
+	c.logEvent("shard primary promoted",
+		"shard", si, "winner", int(winner), "deposed", int(old),
+		"fence", s.fence, "graceful", graceful)
 	if old < 0 {
 		return
 	}
@@ -680,6 +739,7 @@ func (c *Cluster) Rejoin(id cluster.NodeID) error {
 	c.tracker.Forget(int(id))
 	c.tracker.Watch(int(id), c.now)
 	c.gen++
+	c.logEvent("node rejoined", "node", int(id), "gen", c.gen)
 	c.repair()
 	return nil
 }
@@ -696,6 +756,7 @@ func (c *Cluster) AddNode() cluster.NodeID {
 	c.members[id] = &member{node: nd}
 	c.tracker.Watch(int(id), c.now)
 	c.gen++
+	c.logEvent("node added", "node", int(id), "gen", c.gen)
 	c.repair()
 	return id
 }
@@ -724,6 +785,7 @@ func (c *Cluster) Decommission(id cluster.NodeID) error {
 	}
 	m.leaving = true
 	c.gen++
+	c.logEvent("node decommissioning", "node", int(id), "gen", c.gen)
 	c.repair()
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"datanet/internal/cluster"
 	"datanet/internal/elasticmap"
+	"datanet/internal/obs"
 	"datanet/internal/server"
 )
 
@@ -22,10 +23,12 @@ const StaleHeader = "X-Datanet-Stale"
 // through the cluster's replication bookkeeping and an admin plane for
 // topology inspection, node addition and decommissioning.
 type Handler struct {
-	c    *Cluster
-	id   cluster.NodeID
-	node *Node
-	srv  *server.Server
+	c      *Cluster
+	id     cluster.NodeID
+	node   *Node
+	srv    *server.Server
+	tracer *obs.Tracer
+	chain  http.Handler
 	// OnAddNode, when set, is called (outside the cluster lock) after
 	// /admin/addnode registers a member, so the serving layer can boot a
 	// listener for it and record its address.
@@ -34,7 +37,9 @@ type Handler struct {
 
 // NewHandler wires node id's handler. The embedded server serves straight
 // from the node's snapshot store; /readyz reports ready only once the
-// node is registered with the control plane and not down.
+// node is registered with the control plane and not down. Every request
+// passes the observability middleware (request IDs, span ring, optional
+// slog), and the node's metrics feed the cluster rollup.
 func NewHandler(c *Cluster, id cluster.NodeID) (*Handler, error) {
 	node, ok := c.Node(id)
 	if !ok {
@@ -42,22 +47,41 @@ func NewHandler(c *Cluster, id cluster.NodeID) (*Handler, error) {
 	}
 	srv := server.New(node.Store())
 	srv.SetReady(node.Ready)
-	return &Handler{c: c, id: id, node: node, srv: srv}, nil
+	h := &Handler{c: c, id: id, node: node, srv: srv,
+		tracer: obs.NewTracer(obs.DefaultRingSize, obs.DefaultSlowK)}
+	h.chain = obs.Middleware(h.tracer, int(id), c.Logger(), http.HandlerFunc(h.serve))
+	c.RegisterMetricsSource(id, srv.DumpMetrics)
+	return h, nil
 }
 
 // Server exposes the embedded single-process server (metrics, drain).
 func (h *Handler) Server() *server.Server { return h.srv }
 
-// ServeHTTP routes the cluster-aware endpoints and delegates everything
+// Tracer exposes the node's span ring (CLI trace dumps, tests).
+func (h *Handler) Tracer() *obs.Tracer { return h.tracer }
+
+// ServeHTTP runs every request through the observability middleware and
+// into the cluster-aware router.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.chain.ServeHTTP(w, r)
+}
+
+// serve routes the cluster-aware endpoints and delegates everything
 // else (healthz, readyz, metrics, per-array queries) to the embedded
 // server after the leadership gate has passed.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) serve(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/admin/topology":
 		h.writeJSON(w, h.c.Topology())
 		return
 	case "/admin/stats":
 		h.writeJSON(w, h.c.Stats())
+		return
+	case "/admin/trace":
+		obs.TraceHandler(h.tracer).ServeHTTP(w, r)
+		return
+	case "/admin/metrics":
+		h.handleRollup(w)
 		return
 	case "/admin/addnode":
 		h.handleAddNode(w, r)
@@ -72,6 +96,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if name, rest, ok := splitArrayPath(r.URL.Path); ok {
+		if sp := obs.SpanFrom(r.Context()); sp != nil {
+			sp.Shard = ShardOf(name, h.c.Shards())
+		}
 		switch {
 		case r.Method == http.MethodPost && rest == "/append":
 			h.handleWrite(w, r, name, true)
@@ -89,11 +116,55 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			if stale {
 				w.Header().Set(StaleHeader, "true")
+				if sp := obs.SpanFrom(r.Context()); sp != nil {
+					sp.Stale = true
+				}
 			}
 			_ = sn
 		}
 	}
 	h.srv.ServeHTTP(w, r)
+}
+
+// handleRollup is GET /admin/metrics: the cluster-wide Prometheus view.
+// Per-node dumps merge losslessly (counters sum, histograms merge
+// observation-exactly, ascending node order), so this exposition equals
+// what a scraper would compute by summing every node's /metrics — the
+// rollup-equality test pins that. Per-process Go runtime gauges are left
+// out (not mergeable); cluster control-plane counters and per-shard
+// gauges follow under the datanet_cluster_ prefix.
+func (h *Handler) handleRollup(w http.ResponseWriter) {
+	merged := server.MergeDumps(h.c.MetricsDumps()...)
+	out := server.RenderProm(merged, false)
+
+	st := h.c.Stats()
+	tv := h.c.Topology()
+	p := obs.NewProm()
+	p.Family("datanet_cluster_promotions_total", "counter", "Shard primary promotions (failover elections).")
+	p.AddInt("datanet_cluster_promotions_total", nil, uint64(st.Promotions))
+	p.Family("datanet_cluster_handoffs_total", "counter", "Graceful primary handoffs during decommission.")
+	p.AddInt("datanet_cluster_handoffs_total", nil, uint64(st.Handoffs))
+	p.Family("datanet_cluster_ships_delivered_total", "counter", "Replica shipments applied by followers.")
+	p.AddInt("datanet_cluster_ships_delivered_total", nil, uint64(st.ShipsDelivered))
+	p.Family("datanet_cluster_ships_dropped_total", "counter", "Replica shipments dropped by fencing or membership churn.")
+	p.AddInt("datanet_cluster_ships_dropped_total", nil, uint64(st.DroppedShips))
+	p.Family("datanet_cluster_suspicions_total", "counter", "Matured failure-detector suspicions.")
+	p.AddInt("datanet_cluster_suspicions_total", nil, uint64(st.Suspicions))
+	p.Family("datanet_cluster_topology_gen", "gauge", "Topology generation; bumps on every role or membership change.")
+	p.AddInt("datanet_cluster_topology_gen", nil, tv.Gen)
+	p.Family("datanet_cluster_nodes", "gauge", "Current member count.")
+	p.AddInt("datanet_cluster_nodes", nil, uint64(len(tv.Nodes)))
+	p.Family("datanet_cluster_shard_primary", "gauge", "Primary node of each shard, -1 while leaderless.")
+	for _, sv := range tv.Map {
+		p.Add("datanet_cluster_shard_primary", []obs.Label{{K: "shard", V: strconv.Itoa(sv.Shard)}}, float64(sv.Primary))
+	}
+	p.Family("datanet_cluster_shard_fence", "counter", "Fencing token of each shard; bumps on leadership change.")
+	for _, sv := range tv.Map {
+		p.AddInt("datanet_cluster_shard_fence", []obs.Label{{K: "shard", V: strconv.Itoa(sv.Shard)}}, sv.Fence)
+	}
+
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.Write(append(out, p.Bytes()...))
 }
 
 // handleWrite is the cluster append/put path: decode, route through the

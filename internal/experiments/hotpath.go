@@ -34,6 +34,14 @@ type HotPathBench struct {
 	LoadgenP50Ms    float64 `json:"loadgen_p50_ms"`
 	LoadgenP99Ms    float64 `json:"loadgen_p99_ms"`
 	LoadgenRequests int     `json:"loadgen_requests"`
+	// ServeP50Ms / ServeP99Ms are the same requests measured server-side,
+	// from the estimate endpoint's own latency histogram (the one /metrics
+	// exports) — client-side minus these is transport overhead.
+	ServeP50Ms float64 `json:"serve_p50_ms"`
+	ServeP99Ms float64 `json:"serve_p99_ms"`
+	// CacheHitRatio is hits/(hits+misses) of the per-epoch result cache
+	// over the bench run, from the server's own counters.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
 }
 
 // MeasureHotPaths runs the three microbenches. Wall-clock numbers — the
@@ -85,7 +93,8 @@ func MeasureHotPaths() (*HotPathBench, error) {
 
 	store := server.NewStore(server.DefaultCacheSize)
 	store.Put("bench", arr)
-	ts := httptest.NewServer(server.New(store))
+	srv := server.New(store)
+	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	client := &http.Client{Timeout: 10 * time.Second}
 	lat := metrics.NewHistogram()
@@ -106,5 +115,14 @@ func MeasureHotPaths() (*HotPathBench, error) {
 	b.LoadgenP50Ms = lat.Quantile(0.50)
 	b.LoadgenP99Ms = lat.Quantile(0.99)
 	b.LoadgenRequests = requests
+	dump := srv.DumpMetrics()
+	if est, ok := dump.Endpoints["estimate"]; ok && est.Latency.Count() > 0 {
+		// The server histogram observes seconds; the bench reports ms.
+		b.ServeP50Ms = est.Latency.Quantile(0.50) * 1e3
+		b.ServeP99Ms = est.Latency.Quantile(0.99) * 1e3
+	}
+	if total := dump.CacheHits + dump.CacheMisses; total > 0 {
+		b.CacheHitRatio = float64(dump.CacheHits) / float64(total)
+	}
 	return b, nil
 }

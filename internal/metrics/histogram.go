@@ -94,6 +94,30 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.values[lo]*(1-frac) + h.values[hi]*frac
 }
 
+// Clone returns an independent copy of h.
+func (h *Histogram) Clone() *Histogram {
+	out := &Histogram{sum: h.sum, sorted: h.sorted}
+	out.values = append(out.values, h.values...)
+	return out
+}
+
+// Buckets returns cumulative observation counts at the given ascending
+// upper bounds (Prometheus "le" semantics: count of values <= bound),
+// with one extra trailing element for +Inf — always equal to Count().
+func (h *Histogram) Buckets(bounds []float64) []uint64 {
+	h.sort()
+	out := make([]uint64, len(bounds)+1)
+	i := 0
+	for bi, b := range bounds {
+		for i < len(h.values) && h.values[i] <= b {
+			i++
+		}
+		out[bi] = uint64(i)
+	}
+	out[len(bounds)] = uint64(len(h.values))
+	return out
+}
+
 // Merge folds other's observations into h. Other is unchanged; merging nil
 // is a no-op.
 func (h *Histogram) Merge(other *Histogram) {

@@ -44,6 +44,15 @@ func (s *SyncHistogram) Count() int {
 	return s.h.Count()
 }
 
+// Snapshot returns an independent copy of the underlying histogram,
+// taken under the lock: safe to merge, bucket and quantile while
+// observations keep arriving.
+func (s *SyncHistogram) Snapshot() *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Clone()
+}
+
 // Summary digests the histogram (count, sum, min/max, mean, quantiles).
 func (s *SyncHistogram) Summary() HistogramSummary {
 	s.mu.Lock()

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the daemon's structured logger: JSON lines to w at
+// the given level ("debug", "info", "warn", "error"), every record
+// carrying whatever request-ID attrs the call sites attach. Level "off"
+// (the default everywhere) returns nil — call sites treat a nil logger
+// as "don't log", which keeps loadgen and chaos digests byte-identical
+// to logging-free runs.
+func NewLogger(level string, w io.Writer) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "", "off":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want off, debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lv})), nil
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware wraps next with the request-tracing protocol: it reuses or
+// mints the X-Datanet-Request-Id header (echoed on the response so the
+// client can correlate), opens a span carried down via the request
+// context for handlers to annotate (route, epoch, cache, shard, stale),
+// and records the finished span into tracer. When log is non-nil every
+// request is also logged as one structured line keyed by request ID.
+//
+// node is the serving cluster node's ID, -1 in single-process mode.
+func Middleware(tracer *Tracer, node int, log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		sp := &Span{
+			RequestID: id,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Node:      node,
+			Shard:     -1,
+		}
+		if a := r.Header.Get(AttemptHeader); a != "" {
+			if n, err := strconv.Atoi(a); err == nil && n > 1 {
+				sp.Retries = n - 1
+			}
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		sp.StartUnixMs = float64(start.UnixMicro()) / 1e3
+		next.ServeHTTP(sw, r.WithContext(WithSpan(r.Context(), sp)))
+		sp.DurMs = float64(time.Since(start).Microseconds()) / 1e3
+		sp.Status = sw.status
+		tracer.Record(sp)
+		if log != nil {
+			log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("requestId", sp.RequestID),
+				slog.String("method", sp.Method),
+				slog.String("path", sp.Path),
+				slog.String("route", sp.Route),
+				slog.Int("node", sp.Node),
+				slog.Int("shard", sp.Shard),
+				slog.Uint64("epoch", sp.Epoch),
+				slog.Int("status", sp.Status),
+				slog.String("cache", sp.Cache),
+				slog.Bool("stale", sp.Stale),
+				slog.Int("retries", sp.Retries),
+				slog.Float64("durMs", sp.DurMs),
+			)
+		}
+	})
+}
+
+// TraceHandler serves the tracer's state at /admin/trace:
+//
+//	GET /admin/trace                  spans as JSONL (ring order)
+//	GET /admin/trace?format=chrome    Chrome trace-event JSON (Perfetto)
+//	GET /admin/trace?slow=true        slow log only, slowest first
+func TraceHandler(tracer *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans := tracer.Spans()
+		if r.URL.Query().Get("slow") == "true" {
+			spans = tracer.Slowest()
+		}
+		switch f := r.URL.Query().Get("format"); f {
+		case "", "jsonl":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			WriteSpansJSONL(w, spans)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			WriteSpansChrome(w, spans)
+		default:
+			http.Error(w, `unknown format (want "jsonl" or "chrome")`, http.StatusBadRequest)
+		}
+	})
+}

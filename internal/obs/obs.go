@@ -1,0 +1,149 @@
+// Package obs is the wall-clock observability plane of the serving
+// stack: request-scoped spans in a bounded lock-free ring with a top-K
+// slow-request log, an HTTP middleware that stamps and propagates
+// request IDs, Prometheus text-format exposition of the live metrics,
+// JSONL / Chrome trace-event span exports (the same viewer formats
+// internal/trace emits for simulated time), and structured log/slog
+// setup for the serve and cluster daemons.
+//
+// Everything here is wall-clock and therefore off the determinism
+// contract: the seed-pure loadgen digest and the chaos replay digests
+// never read anything this package produces. Tracing defaults on (the
+// ring is bounded and writes are two atomic ops); logging defaults off.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Header names of the request-correlation protocol. Loadgen stamps both;
+// the middleware echoes the request ID on the response and generates one
+// when the client sent none.
+const (
+	// RequestIDHeader carries the request-scoped correlation ID from the
+	// client through the shard router to the owning node.
+	RequestIDHeader = "X-Datanet-Request-Id"
+	// AttemptHeader carries the 1-based attempt number of a retried
+	// request, so the owning node's span records the retry count.
+	AttemptHeader = "X-Datanet-Attempt"
+)
+
+// Span is one request's record: who asked for what, which node and shard
+// answered, how the cache behaved, and how long it took. Wall-clock
+// fields only — spans never feed a deterministic digest.
+type Span struct {
+	// Seq is the tracer-assigned record sequence (ring position claim).
+	Seq uint64 `json:"seq"`
+	// RequestID correlates the span with client logs and slog lines.
+	RequestID string `json:"requestId"`
+	Method    string `json:"method"`
+	Path      string `json:"path"`
+	// Route is the endpoint label the server resolved ("estimate",
+	// "plan", …); empty when the request missed every route.
+	Route string `json:"route,omitempty"`
+	// Node is the serving cluster node, -1 in single-process mode.
+	Node int `json:"node"`
+	// Shard is the array's catalog shard, -1 when unsharded/unknown.
+	Shard int `json:"shard"`
+	// Epoch is the snapshot epoch the read was served from (0 when the
+	// request never resolved a snapshot).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Status is the final HTTP status code.
+	Status int `json:"status"`
+	// Cache is "hit" or "miss" for cacheable reads, empty otherwise.
+	Cache string `json:"cache,omitempty"`
+	// Stale flags a read served below the shard's acked high-water mark.
+	Stale bool `json:"stale,omitempty"`
+	// Retries counts prior attempts of the same logical request (from
+	// AttemptHeader): 0 for a first try.
+	Retries int `json:"retries,omitempty"`
+	// StartUnixMs is the wall-clock start (Unix epoch milliseconds).
+	StartUnixMs float64 `json:"startUnixMs"`
+	// DurMs is the request latency in milliseconds.
+	DurMs float64 `json:"durMs"`
+}
+
+// Defaults for the tracer's bounded state.
+const (
+	// DefaultRingSize is the span-ring capacity (rounded up to a power of
+	// two; ~1 MB of spans at steady state).
+	DefaultRingSize = 4096
+	// DefaultSlowK is the slow-log depth.
+	DefaultSlowK = 32
+)
+
+// Tracer owns one process's (or one cluster node's) span state: the
+// bounded ring and the slow log. The zero Tracer is not usable; a nil
+// *Tracer is a no-op recorder.
+type Tracer struct {
+	ring *Ring
+	slow *SlowLog
+}
+
+// NewTracer builds a tracer with the given ring capacity and slow-log
+// depth (zeros select the defaults).
+func NewTracer(ringSize, slowK int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	if slowK <= 0 {
+		slowK = DefaultSlowK
+	}
+	return &Tracer{ring: NewRing(ringSize), slow: NewSlowLog(slowK)}
+}
+
+// Record stores one finished span. Nil-safe: a nil tracer drops it.
+func (t *Tracer) Record(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	t.ring.Put(sp)
+	t.slow.Offer(sp)
+}
+
+// Spans snapshots the ring in sequence order (oldest retained first).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.ring.Snapshot()
+}
+
+// Slowest returns the slow log, slowest first.
+func (t *Tracer) Slowest() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.slow.Top()
+}
+
+// Request-ID generation: a per-process random prefix plus an atomic
+// counter. Unique across the nodes of one cluster process (they share
+// the counter) and almost surely across processes.
+var (
+	ridPrefix = rand.Uint32()
+	ridSeq    atomic.Uint64
+)
+
+// NewRequestID mints a fresh request ID ("r-xxxxxxxx-n").
+func NewRequestID() string {
+	return fmt.Sprintf("r-%08x-%d", ridPrefix, ridSeq.Add(1))
+}
+
+// spanKey is the context key carrying the in-flight span.
+type spanKey struct{}
+
+// WithSpan returns ctx carrying sp, for handlers to annotate.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the in-flight span, or nil outside the middleware.
+// Annotating the returned span is safe only before the handler returns.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

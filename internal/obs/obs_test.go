@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"datanet/internal/metrics"
+)
+
+func TestRingBoundedAndOrdered(t *testing.T) {
+	r := NewRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap %d, want 8", r.Cap())
+	}
+	for i := 0; i < 20; i++ {
+		r.Put(&Span{RequestID: fmt.Sprintf("r%d", i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("snapshot holds %d spans, want 8", len(got))
+	}
+	for i, sp := range got {
+		if want := uint64(12 + i); sp.Seq != want {
+			t.Errorf("span %d: seq %d, want %d (oldest retained first)", i, sp.Seq, want)
+		}
+	}
+}
+
+func TestRingConcurrentWriters(t *testing.T) {
+	r := NewRing(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Put(&Span{})
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := r.Snapshot()
+	if len(got) != 1024 {
+		t.Fatalf("snapshot holds %d spans, want full ring 1024", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d: %d then %d", i, got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+func TestSlowLogKeepsTopK(t *testing.T) {
+	l := NewSlowLog(3)
+	for _, d := range []float64{5, 1, 9, 2, 7, 3, 8} {
+		l.Offer(&Span{DurMs: d})
+	}
+	top := l.Top()
+	if len(top) != 3 {
+		t.Fatalf("slow log holds %d, want 3", len(top))
+	}
+	for i, want := range []float64{9, 8, 7} {
+		if top[i].DurMs != want {
+			t.Errorf("slow[%d] = %v, want %v", i, top[i].DurMs, want)
+		}
+	}
+	// A fast request after the log filled must not displace anything.
+	l.Offer(&Span{DurMs: 0.1})
+	if got := l.Top(); len(got) != 3 || got[2].DurMs != 7 {
+		t.Errorf("fast request displaced the slow log: %+v", got)
+	}
+}
+
+func TestMiddlewareSpanAndRequestID(t *testing.T) {
+	tr := NewTracer(16, 4)
+	h := Middleware(tr, 2, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := SpanFrom(r.Context())
+		if sp == nil {
+			t.Fatal("no span in handler context")
+		}
+		sp.Route = "estimate"
+		sp.Epoch = 7
+		sp.Cache = "hit"
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/arrays/x/estimate", nil)
+	req.Header.Set(RequestIDHeader, "client-42")
+	req.Header.Set(AttemptHeader, "3")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "client-42" {
+		t.Errorf("response request-id %q, want echo of client-42", got)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("%d spans recorded, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.RequestID != "client-42" || sp.Route != "estimate" || sp.Status != http.StatusTeapot ||
+		sp.Node != 2 || sp.Epoch != 7 || sp.Cache != "hit" || sp.Retries != 2 {
+		t.Errorf("span fields wrong: %+v", sp)
+	}
+	if sp.DurMs < 0 || sp.StartUnixMs <= 0 {
+		t.Errorf("span timing wrong: %+v", sp)
+	}
+
+	// Without a client ID the middleware mints one and echoes it.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get(RequestIDHeader); !strings.HasPrefix(got, "r-") {
+		t.Errorf("minted request id %q, want r- prefix", got)
+	}
+}
+
+func TestTraceHandlerFormats(t *testing.T) {
+	tr := NewTracer(16, 4)
+	tr.Record(&Span{RequestID: "a", Route: "estimate", Node: -1, Shard: -1, Status: 200, StartUnixMs: 1000, DurMs: 2})
+	tr.Record(&Span{RequestID: "b", Route: "plan", Node: 1, Shard: 3, Status: 200, StartUnixMs: 1003, DurMs: 9, Stale: true})
+	ts := httptest.NewServer(TraceHandler(tr))
+	defer ts.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, buf.Bytes())
+		}
+		return buf.Bytes()
+	}
+
+	// JSONL: one parseable object per line, ring order.
+	sc := bufio.NewScanner(bytes.NewReader(get("/")))
+	var ids []string
+	for sc.Scan() {
+		var sp Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		ids = append(ids, sp.RequestID)
+	}
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("JSONL ids %v, want [a b]", ids)
+	}
+
+	// Chrome: valid wrapper with metadata + X events.
+	var ctf struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get("/?format=chrome"), &ctf); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	var xs int
+	for _, ev := range ctf.TraceEvents {
+		if ev.Ph == "X" {
+			xs++
+		}
+	}
+	if xs != 2 {
+		t.Errorf("chrome trace has %d X spans, want 2", xs)
+	}
+
+	// Slow log view returns slowest first.
+	sc = bufio.NewScanner(bytes.NewReader(get("/?slow=true")))
+	ids = ids[:0]
+	for sc.Scan() {
+		var sp Span
+		json.Unmarshal(sc.Bytes(), &sp)
+		ids = append(ids, sp.RequestID)
+	}
+	if len(ids) != 2 || ids[0] != "b" {
+		t.Errorf("slow view ids %v, want b first", ids)
+	}
+
+	// Unknown format is a 400.
+	resp, err := http.Get(ts.URL + "/?format=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPromBuilderFormat(t *testing.T) {
+	h := metrics.NewHistogram()
+	for _, v := range []float64{0.001, 0.02, 0.02, 5} {
+		h.Observe(v)
+	}
+	p := NewProm()
+	p.Family("x_total", "counter", "A counter.")
+	p.AddInt("x_total", []Label{{"endpoint", "estimate"}}, 3)
+	p.Family("lat_seconds", "histogram", "A histogram.")
+	p.Hist("lat_seconds", []Label{{"endpoint", "estimate"}}, h, []float64{0.01, 0.1})
+	out := string(p.Bytes())
+
+	want := []string{
+		"# TYPE x_total counter",
+		`x_total{endpoint="estimate"} 3`,
+		`lat_seconds_bucket{endpoint="estimate",le="0.01"} 1`,
+		`lat_seconds_bucket{endpoint="estimate",le="0.1"} 3`,
+		`lat_seconds_bucket{endpoint="estimate",le="+Inf"} 4`,
+		`lat_seconds_count{endpoint="estimate"} 4`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", w, out)
+		}
+	}
+	if err := ValidatePromText(p.Bytes()); err != nil {
+		t.Errorf("builder output fails its own validator: %v", err)
+	}
+}
+
+func TestValidatePromText(t *testing.T) {
+	good := NewProm()
+	good.Family("a_total", "counter", "ok")
+	good.AddInt("a_total", nil, 1)
+	good.AddRuntime()
+	if err := ValidatePromText(good.Bytes()); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"a_total 1 2 3\n",
+		"{oops} 1\n",
+		"a_total nope\n",
+		"no trailing newline",
+	} {
+		if err := ValidatePromText([]byte(bad)); err == nil {
+			t.Errorf("validator accepted %q", bad)
+		}
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	if l, err := NewLogger("off", nil); err != nil || l != nil {
+		t.Errorf("off level: got (%v, %v), want (nil, nil)", l, err)
+	}
+	var buf bytes.Buffer
+	l, err := NewLogger("info", &buf)
+	if err != nil || l == nil {
+		t.Fatalf("info level: %v", err)
+	}
+	l.Info("hello", "requestId", "r-1")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["requestId"] != "r-1" {
+		t.Errorf("log record %v missing fields", rec)
+	}
+	if _, err := NewLogger("verbose", &buf); err == nil {
+		t.Error("bad level accepted")
+	}
+}

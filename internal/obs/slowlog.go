@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SlowLog keeps the K slowest requests seen so far. A lock-free floor
+// check keeps the common case (request faster than the current K-th
+// slowest) down to one atomic load; only genuinely slow requests take
+// the mutex. K is small, so the guarded insert is a linear scan.
+type SlowLog struct {
+	// floorBits is the current admission threshold (math.Float64bits of
+	// the K-th slowest duration), 0 while the log is not yet full.
+	floorBits atomicFloat
+
+	mu    sync.Mutex
+	k     int
+	spans []Span // sorted slowest-first
+}
+
+// NewSlowLog builds a slow log of depth k.
+func NewSlowLog(k int) *SlowLog {
+	if k <= 0 {
+		k = DefaultSlowK
+	}
+	return &SlowLog{k: k}
+}
+
+// Offer considers one finished span for the log.
+func (l *SlowLog) Offer(sp *Span) {
+	if sp.DurMs <= l.floorBits.load() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.spans) == l.k && sp.DurMs <= l.spans[l.k-1].DurMs {
+		return // raced: another slow span raised the floor first
+	}
+	i := sort.Search(len(l.spans), func(i int) bool { return l.spans[i].DurMs < sp.DurMs })
+	l.spans = append(l.spans, Span{})
+	copy(l.spans[i+1:], l.spans[i:])
+	l.spans[i] = *sp
+	if len(l.spans) > l.k {
+		l.spans = l.spans[:l.k]
+	}
+	if len(l.spans) == l.k {
+		l.floorBits.store(l.spans[l.k-1].DurMs)
+	}
+}
+
+// Top returns the log, slowest first.
+func (l *SlowLog) Top() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, len(l.spans))
+	copy(out, l.spans)
+	return out
+}
+
+// atomicFloat is a float64 behind a uint64 atomic. Durations are
+// non-negative, so the bit pattern ordering matches numeric ordering
+// closely enough for an admission hint (exact ordering is re-checked
+// under the mutex).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+
+	"datanet/internal/metrics"
+	"datanet/internal/obs"
+)
+
+// LatencyBuckets are the explicit request-latency bucket bounds
+// (seconds) of the Prometheus exposition, spanning cache hits (tens of
+// microseconds) through cold scheduling plans.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// EndpointDump is one route's raw metric state: counters plus the full
+// latency histogram (not a summary), so dumps merge losslessly.
+type EndpointDump struct {
+	Requests uint64
+	Errors   uint64
+	Latency  *metrics.Histogram
+}
+
+// MetricsDump is the server's raw metric state. The cluster rollup
+// merges per-node dumps through Histogram.Merge, which is exact —
+// quantiles of the merged dump equal quantiles of the union stream.
+type MetricsDump struct {
+	Endpoints   map[string]EndpointDump
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// DumpMetrics snapshots the server's counters and latency histograms in
+// mergeable form.
+func (s *Server) DumpMetrics() MetricsDump {
+	d := MetricsDump{
+		Endpoints:   make(map[string]EndpointDump, len(s.byEndpoint)),
+		CacheHits:   s.cacheHits.Value(),
+		CacheMisses: s.cacheMiss.Value(),
+	}
+	for l, em := range s.byEndpoint {
+		d.Endpoints[l] = EndpointDump{
+			Requests: em.requests.Value(),
+			Errors:   em.errors.Value(),
+			Latency:  em.latency.Snapshot(),
+		}
+	}
+	return d
+}
+
+// MergeDumps folds per-node dumps into one cluster-wide view: counters
+// sum, histograms merge observation-exactly. Dumps are merged in
+// argument order.
+func MergeDumps(dumps ...MetricsDump) MetricsDump {
+	out := MetricsDump{Endpoints: map[string]EndpointDump{}}
+	for _, d := range dumps {
+		out.CacheHits += d.CacheHits
+		out.CacheMisses += d.CacheMisses
+		for l, ed := range d.Endpoints {
+			acc, ok := out.Endpoints[l]
+			if !ok {
+				acc = EndpointDump{Latency: metrics.NewHistogram()}
+			}
+			acc.Requests += ed.Requests
+			acc.Errors += ed.Errors
+			acc.Latency.Merge(ed.Latency)
+			out.Endpoints[l] = acc
+		}
+	}
+	return out
+}
+
+// RenderProm renders a dump as Prometheus text-format exposition.
+// Families and labels are emitted in a fixed order (endpoint labels
+// ascending), a stability promise the golden test pins. withRuntime
+// appends the per-process Go runtime gauges; cluster rollups leave them
+// out because they are not mergeable across processes.
+func RenderProm(d MetricsDump, withRuntime bool) []byte {
+	labels := make([]string, 0, len(d.Endpoints))
+	for l := range d.Endpoints {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	p := obs.NewProm()
+	p.Family("datanet_http_requests_total", "counter", "Requests received, by endpoint.")
+	for _, l := range labels {
+		p.AddInt("datanet_http_requests_total", []obs.Label{{K: "endpoint", V: l}}, d.Endpoints[l].Requests)
+	}
+	p.Family("datanet_http_request_errors_total", "counter", "Requests answered with an error status, by endpoint.")
+	for _, l := range labels {
+		p.AddInt("datanet_http_request_errors_total", []obs.Label{{K: "endpoint", V: l}}, d.Endpoints[l].Errors)
+	}
+	p.Family("datanet_http_request_duration_seconds", "histogram", "Request latency, by endpoint.")
+	for _, l := range labels {
+		p.Hist("datanet_http_request_duration_seconds", []obs.Label{{K: "endpoint", V: l}}, d.Endpoints[l].Latency, LatencyBuckets)
+	}
+	p.Family("datanet_cache_hits_total", "counter", "Per-epoch result-cache hits.")
+	p.AddInt("datanet_cache_hits_total", nil, d.CacheHits)
+	p.Family("datanet_cache_misses_total", "counter", "Per-epoch result-cache misses.")
+	p.AddInt("datanet_cache_misses_total", nil, d.CacheMisses)
+	if withRuntime {
+		p.AddRuntime()
+	}
+	return p.Bytes()
+}
+
+// handleProm is GET /metrics: the Prometheus text-format view of the
+// same counters /v1/metrics reports as JSON, plus Go runtime gauges.
+// Deliberately uninstrumented, like /v1/metrics: scraping must not
+// perturb the numbers being scraped.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.Write(RenderProm(s.DumpMetrics(), true))
+}

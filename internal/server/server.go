@@ -16,6 +16,7 @@ import (
 
 	"datanet/internal/elasticmap"
 	"datanet/internal/metrics"
+	"datanet/internal/obs"
 )
 
 // MaxBodyBytes bounds request bodies (encoded arrays, plan requests): a
@@ -73,6 +74,7 @@ func New(store *Store) *Server {
 	s.mux.HandleFunc("POST /v1/arrays/{name}/append", s.instrument("append", s.handleAppend))
 	s.mux.HandleFunc("PUT /v1/arrays/{name}", s.instrument("put", s.handlePut))
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
 	return s
 }
 
@@ -157,6 +159,9 @@ func (s *Server) instrument(label string, h func(r *http.Request) ([]byte, error
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		em.requests.Inc()
+		if sp := obs.SpanFrom(r.Context()); sp != nil {
+			sp.Route = label
+		}
 		body, err := h(r)
 		em.latency.Observe(time.Since(start).Seconds())
 		if err != nil {
@@ -190,24 +195,35 @@ func marshal(v any) []byte {
 	return append(blob, '\n')
 }
 
-// snapshot resolves the {name} path wildcard to a store snapshot.
+// snapshot resolves the {name} path wildcard to a store snapshot and
+// stamps the served epoch onto the request's span.
 func (s *Server) snapshot(r *http.Request) (*Snapshot, error) {
 	name := r.PathValue("name")
 	sn, ok := s.store.Get(name)
 	if !ok {
 		return nil, notFound("unknown array %q", name)
 	}
+	if sp := obs.SpanFrom(r.Context()); sp != nil {
+		sp.Epoch = sn.Epoch
+	}
 	return sn, nil
 }
 
 // cached answers from the snapshot's per-epoch cache, counting hits and
-// misses on the server.
-func (s *Server) cached(sn *Snapshot, key string, compute func() []byte) []byte {
+// misses on the server and on the request's span.
+func (s *Server) cached(r *http.Request, sn *Snapshot, key string, compute func() []byte) []byte {
 	body, hit := sn.Cached(key, compute)
 	if hit {
 		s.cacheHits.Inc()
 	} else {
 		s.cacheMiss.Inc()
+	}
+	if sp := obs.SpanFrom(r.Context()); sp != nil {
+		if hit {
+			sp.Cache = "hit"
+		} else {
+			sp.Cache = "miss"
+		}
 	}
 	return body
 }
@@ -352,7 +368,7 @@ func (s *Server) handleEstimate(r *http.Request) ([]byte, error) {
 	if sub == "" {
 		return nil, badRequest("missing sub parameter")
 	}
-	return s.cached(sn, "estimate\x00"+sub, func() []byte {
+	return s.cached(r, sn, "estimate\x00"+sub, func() []byte {
 		total, hashed, bloomed := sn.Arr.EstimateDetailed(sub)
 		return marshal(estimateResponse{
 			Epoch: sn.Epoch, Sub: sub,
@@ -377,7 +393,7 @@ func (s *Server) handleDistribution(r *http.Request) ([]byte, error) {
 	if sub == "" {
 		return nil, badRequest("missing sub parameter")
 	}
-	return s.cached(sn, "distribution\x00"+sub, func() []byte {
+	return s.cached(r, sn, "distribution\x00"+sub, func() []byte {
 		dist := sn.Arr.Distribution(sub)
 		blocks := make([]blockEstimate, len(dist))
 		for i, be := range dist {
@@ -402,7 +418,7 @@ func (s *Server) handleTop(r *http.Request) ([]byte, error) {
 		}
 		n = v
 	}
-	return s.cached(sn, "top\x00"+strconv.Itoa(n), func() []byte {
+	return s.cached(r, sn, "top\x00"+strconv.Itoa(n), func() []byte {
 		top := sn.Idx.Top(n)
 		entries := make([]map[string]any, len(top))
 		for i, e := range top {
@@ -432,8 +448,12 @@ func (s *Server) handlePlan(r *http.Request) ([]byte, error) {
 	// semantically identical requests share an entry. Only successful
 	// plans are cached; errors recompute.
 	key := "plan\x00" + string(marshal(req))
+	sp := obs.SpanFrom(r.Context())
 	if body, ok := sn.cache.get(key); ok {
 		s.cacheHits.Inc()
+		if sp != nil {
+			sp.Cache = "hit"
+		}
 		return body, nil
 	}
 	resp, err := buildPlan(sn, &req)
@@ -443,6 +463,9 @@ func (s *Server) handlePlan(r *http.Request) ([]byte, error) {
 	body := marshal(resp)
 	sn.cache.put(key, body)
 	s.cacheMiss.Inc()
+	if sp != nil {
+		sp.Cache = "miss"
+	}
 	return body, nil
 }
 
