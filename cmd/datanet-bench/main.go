@@ -15,18 +15,40 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"datanet/internal/experiments"
 	"datanet/internal/stats"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, modelcheck, aggregation, amortization, blocksize, replication, faulttol, detect)")
+	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, placement-sweep, modelcheck, aggregation, amortization, blocksize, replication, faulttol, detect)")
 	csvDir := flag.String("csv", "", "also write the figure series as CSV files into this directory")
 	htmlOut := flag.String("html", "", "also write a self-contained HTML report (inline SVG) to this path")
 	workers := flag.Int("parallel", 1, "worker-pool size for independent suite experiments (output is identical at any count)")
 	benchOut := flag.String("json-bench", "", "run the suite plus the hot-path microbenches (build MB/s, estimates/sec, HTTP p50/p99) and write the benchmark record to this JSON file")
 	flag.Parse()
+
+	if *benchOut != "" && *only != "" {
+		// Single-experiment benchmark record: run just the named experiment
+		// and write its makespans/counters (e.g. the placement sweep's
+		// bytes-moved bill into BENCH_8.json).
+		start := time.Now()
+		var secs []experiments.BenchSection
+		if err := runOne(*only, func(name string, out fmt.Stringer) {
+			secs = append(secs, experiments.SectionFor(name, time.Since(start), out))
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "datanet-bench:", err)
+			os.Exit(1)
+		}
+		rep := &experiments.BenchReport{Workers: 1, WallSeconds: time.Since(start).Seconds(), Sections: secs}
+		if err := rep.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "datanet-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *benchOut)
+		return
+	}
 
 	if *benchOut != "" {
 		rep, err := experiments.RunSuiteBench(os.Stdout, *workers)
@@ -78,19 +100,27 @@ func main() {
 		}
 		return
 	}
-	if err := runOne(*only); err != nil {
+	if err := runOne(*only, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "datanet-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func runOne(name string) error {
-	print := func(s fmt.Stringer, err error) error {
+// runOne executes one named experiment, printing each result and — when
+// emit is non-nil — handing it over for benchmark-record collection.
+func runOne(name string, emit func(string, fmt.Stringer)) error {
+	printAs := func(section string, s fmt.Stringer, err error) error {
 		if err != nil {
 			return err
 		}
 		fmt.Println(s.String())
+		if emit != nil {
+			emit(section, s)
+		}
 		return nil
+	}
+	print := func(s fmt.Stringer, err error) error {
+		return printAs(name, s, err)
 	}
 	switch name {
 	case "fig1":
@@ -142,7 +172,16 @@ func runOne(name string) error {
 	case "weblog":
 		return print(experiments.WebLog(experiments.WebLogParams{}))
 	case "placement":
-		return print(experiments.Placement(experiments.MovieParams{}))
+		// The static policy comparison plus the online rebalancer sweep:
+		// together they are the placement benchmark surface.
+		pr, err := experiments.Placement(experiments.MovieParams{})
+		if err := printAs("placement", pr, err); err != nil {
+			return err
+		}
+		sw, err := experiments.PlacementSweep(experiments.MovieParams{})
+		return printAs("placement-sweep", sw, err)
+	case "placement-sweep":
+		return print(experiments.PlacementSweep(experiments.MovieParams{}))
 	case "modelcheck":
 		return print(experiments.ModelCheck(nil, nil))
 	case "aggregation":

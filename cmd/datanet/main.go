@@ -33,6 +33,7 @@ import (
 	"datanet/internal/chaos"
 	"datanet/internal/elasticmap"
 	"datanet/internal/experiments"
+	"datanet/internal/metrics"
 	"datanet/internal/records"
 )
 
@@ -80,11 +81,13 @@ func usage() {
   analyze -data FILE -sub KEY -app NAME [-sched locality|datanet|maxflow|lpt] [-skip]
           [-meta FILE] [-crash N@T[:REJOIN],...] [-slow NxF,...] [-readerr P] [-retries N]
           [-detect oracle|heartbeat|phi] [-hb-interval S] [-hb-timeout S]
+          [-rebalance off|hotspot|anneal|both [-rebalance-ticks N]]
           [-trace OUT [-trace-format jsonl|chrome]] [-json]
   top     -data FILE [-n N] | -meta FILE [-n N]
   verify  -data FILE -meta FILE [-samples N]
   suite   [-parallel N] [-json-bench FILE]
   chaos   [-runs N] [-seed S] [-detect heartbeat|phi|oracle] [-shrink]
+          [-rebalance off|hotspot|anneal|both]  (no-lost-blocks invariant)
           [-cluster N [-replicas K] [-shards S]]  (sharded-cluster invariants)
   serve   -meta NAME=FILE [-meta NAME=FILE ...] [-addr HOST:PORT] [-cache N]
           [-cluster N [-replicas K] [-shards S]]  (sharded, replicated serving)
@@ -241,6 +244,8 @@ func runAnalyze(args []string) error {
 	detectMode := c.fs.String("detect", "oracle", "failure detector: oracle | heartbeat | phi")
 	hbInterval := c.fs.Float64("hb-interval", 0, "heartbeat interval in simulated seconds (0 = default 0.5)")
 	hbTimeout := c.fs.Float64("hb-timeout", 0, "suspicion timeout in simulated seconds (0 = 3 × interval)")
+	rebalance := c.fs.String("rebalance", "off", "distribution-aware replica rebalancing before the run: off | hotspot | anneal | both")
+	rebalanceTicks := c.fs.Int("rebalance-ticks", 2, "maintenance ticks to run when -rebalance is enabled")
 	traceOut := c.fs.String("trace", "", "write the run's event timeline to this file")
 	traceFormat := c.fs.String("trace-format", "jsonl", "timeline format: jsonl | chrome (Perfetto / chrome://tracing)")
 	jsonOut := c.fs.Bool("json", false, "emit a machine-readable JSON document (result + metrics) instead of text")
@@ -308,6 +313,32 @@ func runAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	rebalanceMode, err := datanet.ParseRebalanceMode(*rebalance)
+	if err != nil {
+		return err
+	}
+	var rebalanceStats datanet.RebalanceStats
+	if rebalanceMode != datanet.RebalanceOff {
+		// Pre-run maintenance: let the distribution-aware rebalancer move
+		// replicas toward the queried sub-dataset's heat before the job is
+		// scheduled. The heat profile needs meta-data, which the locality
+		// scheduler otherwise skips building.
+		if meta == nil {
+			if meta, err = datanet.BuildMeta(hfs, "data", datanet.MetaOptions{Alpha: *alpha}); err != nil {
+				return err
+			}
+		}
+		rb := datanet.NewRebalancer(hfs, datanet.RebalancerConfig{Mode: rebalanceMode, AnnealSeed: *faultSeed})
+		if err := rb.ObserveProfile("data", meta.HeatProfile(*sub)); err != nil {
+			return err
+		}
+		for i := 0; i < *rebalanceTicks; i++ {
+			if _, err := rb.Tick(float64(i)); err != nil {
+				return err
+			}
+		}
+		rebalanceStats = rb.Stats()
+	}
 	mode, err := datanet.ParseDetectorMode(*detectMode)
 	if err != nil {
 		return err
@@ -350,6 +381,10 @@ func runAnalyze(args []string) error {
 	fmt.Printf("  filter phase:   %8.2f s (%d local, %d remote, %d skipped)\n",
 		res.FilterEnd, res.LocalTasks, res.RemoteTasks, res.SkippedBlocks)
 	fmt.Printf("  analysis job:   %8.2f s\n", res.AnalysisTime)
+	if rebalanceMode != datanet.RebalanceOff {
+		fmt.Printf("  rebalance:      %d moves, %s shipped in %d ticks (%s)\n",
+			rebalanceStats.Moves, metrics.Bytes(rebalanceStats.BytesMoved), rebalanceStats.Ticks, rebalanceMode)
+	}
 	fmt.Printf("  total makespan: %8.2f s\n", res.JobTime)
 	if res.NodeCrashes > 0 || res.TasksRetried > 0 || res.TransientErrors > 0 {
 		fmt.Printf("  fault handling: %d node crashes, %d tasks retried, %d transient read errors, %d outputs lost, %d replicas repaired\n",
@@ -373,9 +408,15 @@ func runAnalyze(args []string) error {
 	if res.MetadataFallback {
 		fmt.Printf("  metadata fallback: degraded to %s\n", res.SchedulerName)
 	}
+	// Node order, not map order — the sparkline must be seed-stable.
+	nodes := make([]datanet.NodeID, 0, len(res.NodeWorkload))
+	for id := range res.NodeWorkload {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	var loads []int64
-	for _, w := range res.NodeWorkload {
-		loads = append(loads, w)
+	for _, id := range nodes {
+		loads = append(loads, res.NodeWorkload[id])
 	}
 	fmt.Printf("  per-node workload: %s\n", sparkline(loads))
 	if *traceOut != "" {
@@ -574,6 +615,7 @@ func runChaos(args []string) error {
 	seed := fs.Uint64("seed", 1, "base seed of the campaign (plans derive from it)")
 	detectMode := fs.String("detect", "heartbeat", "failure detector under test: oracle | heartbeat | phi")
 	shrink := fs.Bool("shrink", false, "reduce the first violating plan to a minimal counterexample")
+	rebalance := fs.String("rebalance", "off", "run the distribution-aware rebalancer before each job and check the no-lost-blocks invariant: off | hotspot | anneal | both")
 	clusterN := fs.Int("cluster", 0, "check the sharded metadata cluster with N nodes instead of the job engine (0 = engine)")
 	replicas := fs.Int("replicas", 2, "followers per shard in cluster chaos")
 	shards := fs.Int("shards", 4, "catalog shards in cluster chaos")
@@ -588,8 +630,13 @@ func runChaos(args []string) error {
 	if *clusterN > 0 {
 		return runClusterChaos(*runs, *seed, *clusterN, *shards, *replicas, mode, *shrink)
 	}
+	rebalanceMode, err := datanet.ParseRebalanceMode(*rebalance)
+	if err != nil {
+		return err
+	}
 	p := chaos.DefaultParams()
 	p.Detect.Mode = mode
+	p.Rebalance = rebalanceMode
 	rep, err := chaos.Run(*runs, *seed, p)
 	if err != nil {
 		return err

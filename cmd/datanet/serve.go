@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"log/slog"
 	"math/rand"
@@ -23,6 +22,7 @@ import (
 	"time"
 
 	"datanet/internal/elasticmap"
+	"datanet/internal/hashutil"
 	"datanet/internal/metrics"
 	"datanet/internal/obs"
 	"datanet/internal/server"
@@ -365,7 +365,7 @@ func runLoadgen(args []string) error {
 				// Commutative digest: summing per-exchange FNV-64a hashes
 				// makes the result independent of client interleaving. Each
 				// request is hashed once, with its final (post-retry) answer.
-				h := fnv.New64a()
+				h := hashutil.New()
 				fmt.Fprintf(h, "%s %s\x00%d\x00", q.method, q.path, status)
 				h.Write(q.body)
 				h.Write([]byte{0})

@@ -109,6 +109,39 @@ const (
 // ParseDetectorMode parses "oracle", "heartbeat"/"hb" or "phi".
 func ParseDetectorMode(s string) (DetectorMode, error) { return detect.ParseMode(s) }
 
+// Rebalancer is the distribution-aware replica maintenance loop: hot
+// blocks (high access count × sub-dataset concentration, straight from
+// ElasticMap) gain replicas on underloaded nodes, and a simulated-
+// annealing pass relocates replicas toward a lower-imbalance layout.
+type Rebalancer = hdfs.Rebalancer
+
+// RebalancerConfig shapes the maintenance loop (mode, tick interval,
+// per-tick move caps, annealing seed).
+type RebalancerConfig = hdfs.RebalancerConfig
+
+// RebalanceStats accumulates what the loop did (ticks, moves, bytes).
+type RebalanceStats = hdfs.RebalanceStats
+
+// Rebalance modes for RebalancerConfig.Mode.
+const (
+	// RebalanceOff disables the rebalancer (the default).
+	RebalanceOff = hdfs.RebalanceOff
+	// RebalanceHotSpot adds replicas of hot blocks.
+	RebalanceHotSpot = hdfs.RebalanceHotSpot
+	// RebalanceAnneal relocates replicas by simulated annealing.
+	RebalanceAnneal = hdfs.RebalanceAnneal
+	// RebalanceBoth runs the hot-spot pass, then annealing.
+	RebalanceBoth = hdfs.RebalanceBoth
+)
+
+// ParseRebalanceMode parses "off", "hotspot", "anneal" or "both".
+func ParseRebalanceMode(s string) (string, error) { return hdfs.ParseRebalanceMode(s) }
+
+// NewRebalancer builds a maintenance loop over fs.
+func NewRebalancer(fs *FileSystem, cfg RebalancerConfig) *Rebalancer {
+	return hdfs.NewRebalancer(fs, cfg)
+}
+
 // Trace records a run's full event timeline on the simulated clock:
 // scheduler decision audits (candidates, locality, workload vs the
 // cluster-average W̄, which rule fired), task attempts, fault deliveries,
@@ -216,6 +249,10 @@ func (m *Meta) Weights(sub string) []int64 {
 	}
 	return w
 }
+
+// HeatProfile returns the per-block concentration of sub in block order —
+// the access-heat signal the distribution-aware rebalancer consumes.
+func (m *Meta) HeatProfile(sub string) []float64 { return m.arr.HeatProfile(sub) }
 
 // MemoryBytes returns the meta-data footprint.
 func (m *Meta) MemoryBytes() int64 { return m.arr.MemoryBits() / 8 }

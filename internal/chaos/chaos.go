@@ -43,6 +43,13 @@ type Params struct {
 	// absorbs fixed costs (detection timeouts, retry backoff) that dwarf
 	// this small fixture's sub-second healthy makespan.
 	MakespanBound, SlackSeconds float64
+	// Rebalance, when not "" / "off", runs the distribution-aware
+	// rebalancer (hdfs.Rebalancer in that mode) on each run's filesystem
+	// before the job, and activates the no-lost-blocks invariant:
+	// rebalancing must never leave a block without replicas or with two
+	// replicas co-located on one node, and the run's output must still
+	// match the fault-free reference.
+	Rebalance string
 }
 
 // DefaultParams is the CI-sized configuration: an 8-node fixture small
@@ -220,10 +227,21 @@ func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
 		return out
 	}
 	for _, s := range h.schedulers() {
-		run := func() (*mapreduce.Result, error) {
+		run := func(report bool) (*mapreduce.Result, error) {
 			fs, err := chaosFS(h.p)
 			if err != nil {
 				return nil, err
+			}
+			if h.p.Rebalance != "" && h.p.Rebalance != hdfs.RebalanceOff {
+				// The invariant is checked once; the replay run still
+				// rebalances so both runs see the same layout.
+				reb := fail
+				if !report {
+					reb = func(string, string, string, ...any) {}
+				}
+				if err := h.rebalance(fs, seed, reb, s.name); err != nil {
+					return nil, err
+				}
 			}
 			cfg := h.baseConfig(fs)
 			s.tweak(&cfg)
@@ -231,8 +249,8 @@ func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
 			cfg.Detect = h.p.Detect
 			return mapreduce.Run(cfg)
 		}
-		res, err := run()
-		res2, err2 := run()
+		res, err := run(true)
+		res2, err2 := run(false)
 
 		// Replay: identical (seed, plan, config) must reproduce the run
 		// bit for bit — errors included.
@@ -298,6 +316,48 @@ func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
 		}
 	}
 	return out
+}
+
+// rebalance runs the distribution-aware maintenance loop on one fixture
+// instance and checks the no-lost-blocks invariant: every block keeps at
+// least one replica and no block ends with two replicas on one node. The
+// annealing seed derives from the run seed, so replays are identical.
+func (h *Harness) rebalance(fs *hdfs.FileSystem, seed uint64, fail func(sched, inv, format string, args ...any), schedName string) error {
+	rb := hdfs.NewRebalancer(fs, hdfs.RebalancerConfig{
+		Mode:       h.p.Rebalance,
+		AnnealSeed: int64(seed),
+	})
+	profile := make([]float64, len(h.weights))
+	for i, w := range h.weights {
+		profile[i] = float64(w)
+	}
+	if err := rb.ObserveProfile("log", profile); err != nil {
+		return err
+	}
+	for tick := 0; tick < 2; tick++ {
+		if _, err := rb.Tick(float64(tick)); err != nil {
+			return err
+		}
+	}
+	blocks, err := fs.Blocks("log")
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		if len(b.Replicas) == 0 {
+			fail(schedName, "rebalance-no-lost-blocks", "block %d has no replicas after rebalancing", b.ID)
+			continue
+		}
+		seen := make(map[cluster.NodeID]bool, len(b.Replicas))
+		for _, n := range b.Replicas {
+			if seen[n] {
+				fail(schedName, "rebalance-no-lost-blocks", "block %d has co-located replicas on node %d", b.ID, n)
+				break
+			}
+			seen[n] = true
+		}
+	}
+	return nil
 }
 
 // Run executes a chaos campaign: runs seeds derived from the base seed,

@@ -3,13 +3,13 @@ package chaos
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"datanet/internal/cluster"
 	"datanet/internal/clusterd"
 	"datanet/internal/detect"
 	"datanet/internal/elasticmap"
+	"datanet/internal/hashutil"
 	"datanet/internal/records"
 )
 
@@ -503,7 +503,7 @@ func runClusterPlan(seed uint64, plan *ClusterPlan, p ClusterParams) clusterRunR
 	}
 	// Terminal catalog sweep: every seeded array queryable with records,
 	// and staleness flags still honest.
-	h := fnv.New64a()
+	h := hashutil.New()
 	for i := 0; i < p.Arrays; i++ {
 		name := clusterArrayName(i)
 		sn, stale, err := c.Read(name)

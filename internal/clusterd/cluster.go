@@ -10,6 +10,7 @@ import (
 	"datanet/internal/cluster"
 	"datanet/internal/detect"
 	"datanet/internal/elasticmap"
+	"datanet/internal/placement"
 	"datanet/internal/server"
 )
 
@@ -897,17 +898,23 @@ func (c *Cluster) fillFollowers(si int, eligible []cluster.NodeID) {
 	if have >= desired {
 		return
 	}
-	for _, id := range rendezvousRank(si, eligible) {
-		if have >= desired {
-			break
-		}
-		if id == s.primary || containsID(s.followers, id) {
-			continue
-		}
+	// The rendezvous Policy walks the ranking skipping the primary and
+	// current followers (Have) and down nodes (Veto) — the same candidate
+	// sequence the historical inline loop produced.
+	chosen, _ := placement.Rendezvous{Shard: si}.Choose(placement.Request{
+		Candidates: eligible,
+		Want:       desired - have,
+		Partial:    true,
+		Have:       append(append([]cluster.NodeID(nil), s.followers...), s.primary),
+		Veto: func(id cluster.NodeID) placement.VetoReason {
+			if m, ok := c.members[id]; !ok || m.node.isDown() {
+				return placement.VetoDead
+			}
+			return placement.VetoNone
+		},
+	})
+	for _, id := range chosen {
 		m := c.members[id]
-		if m.node.isDown() {
-			continue
-		}
 		m.node.setRole(si, Role{Fence: s.fence}, nil)
 		s.followers = append(s.followers, id)
 		sortIDs(s.followers)
@@ -915,7 +922,6 @@ func (c *Cluster) fillFollowers(si int, eligible []cluster.NodeID) {
 			s.acks[id] = map[string]uint64{}
 		}
 		c.gen++
-		have++
 	}
 }
 

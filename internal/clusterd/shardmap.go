@@ -26,45 +26,32 @@
 package clusterd
 
 import (
-	"hash/fnv"
-	"sort"
-
 	"datanet/internal/cluster"
+	"datanet/internal/placement"
 )
+
+// Shard placement moved to internal/placement with the unified-policy
+// refactor; these wrappers keep clusterd's historical names and pin the
+// cluster to the shared implementation (loadgen routes with the very same
+// functions, so client and server shard maps cannot diverge).
 
 // ShardOf maps an array name to its shard: FNV-64a modulo the shard
 // count. Clients (loadgen) compute the same function from the topology
 // view, so routing needs no per-array directory.
-func ShardOf(name string, shards int) int {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return int(h.Sum64() % uint64(shards))
-}
+func ShardOf(name string, shards int) int { return placement.ShardOf(name, shards) }
 
 // rendezvousScore is the highest-random-weight score of (shard, node):
 // a splitmix64 finalizer over the pair. Deterministic across processes
 // and Go versions, like the chaos RNG it mirrors.
 func rendezvousScore(shard int, id cluster.NodeID) uint64 {
-	z := uint64(shard)*0x9e3779b97f4a7c15 + uint64(id)*0xd1342543de82ef95 + 0x2545f4914f6cdd1d
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return placement.RendezvousScore(shard, id)
 }
 
-// rendezvousRank orders candidate nodes for a shard by descending score
-// (ties by lower ID, which cannot happen with distinct IDs but keeps the
-// sort total). The prefix of the ranking is the shard's desired replica
-// set: adding or removing one node perturbs only the shards whose ranking
-// the change actually enters — the consistent-hashing property that keeps
-// topology changes from reshuffling the whole catalog.
+// rendezvousRank orders candidate nodes for a shard by descending score.
+// The prefix of the ranking is the shard's desired replica set: adding or
+// removing one node perturbs only the shards whose ranking the change
+// actually enters — the consistent-hashing property that keeps topology
+// changes from reshuffling the whole catalog.
 func rendezvousRank(shard int, ids []cluster.NodeID) []cluster.NodeID {
-	out := append([]cluster.NodeID(nil), ids...)
-	sort.Slice(out, func(i, j int) bool {
-		si, sj := rendezvousScore(shard, out[i]), rendezvousScore(shard, out[j])
-		if si != sj {
-			return si > sj
-		}
-		return out[i] < out[j]
-	})
-	return out
+	return placement.RendezvousRank(shard, ids)
 }

@@ -1,0 +1,76 @@
+package elasticmap
+
+import (
+	"math"
+	"testing"
+
+	"datanet/internal/records"
+)
+
+func TestConcentration(t *testing.T) {
+	blocks := twoBlockFixture()
+	arr := Build(blocks, fixtureOpts())
+
+	// hero dominates block 0: hash-resident, so concentration is exact.
+	truth0 := float64(records.BySub(blocks[0])["hero"]) / float64(records.TotalSize(blocks[0]))
+	if got := arr.Block(0).Concentration("hero"); math.Abs(got-truth0) > 1e-12 {
+		t.Errorf("block-0 hero concentration = %v, want %v", got, truth0)
+	}
+	// hero is tiny in block 1: Bloom-resident δ approximation, but still
+	// positive and below the dominant share.
+	c1 := arr.Block(1).Concentration("hero")
+	if c1 <= 0 || c1 >= arr.Block(1).Concentration("bg-0") {
+		t.Errorf("block-1 hero concentration = %v, want small positive", c1)
+	}
+	// Absent sub-datasets are stone cold.
+	if got := arr.Block(0).Concentration("no-such-sub"); got != 0 {
+		t.Errorf("absent sub concentration = %v, want 0", got)
+	}
+}
+
+func TestConcentrationClamped(t *testing.T) {
+	blocks := twoBlockFixture()
+	arr := Build(blocks, fixtureOpts())
+	for i := 0; i < arr.Len(); i++ {
+		for _, sub := range []string{"hero", "bg-0", "bg-1"} {
+			if c := arr.Block(i).Concentration(sub); c < 0 || c > 1 {
+				t.Errorf("block %d %s concentration %v outside [0,1]", i, sub, c)
+			}
+		}
+	}
+}
+
+func TestDominantConcentration(t *testing.T) {
+	blocks := twoBlockFixture()
+	arr := Build(blocks, fixtureOpts())
+	// Block 0 is content-clustered around hero; its dominant concentration
+	// is hero's exact share. Block 1 is dominated by bg-0.
+	if got, want := arr.Block(0).DominantConcentration(), arr.Block(0).Concentration("hero"); got != want {
+		t.Errorf("block-0 dominant = %v, want hero's %v", got, want)
+	}
+	if got, want := arr.Block(1).DominantConcentration(), arr.Block(1).Concentration("bg-0"); got != want {
+		t.Errorf("block-1 dominant = %v, want bg-0's %v", got, want)
+	}
+	var empty BlockMeta
+	if got := empty.DominantConcentration(); got != 0 {
+		t.Errorf("empty block dominant = %v, want 0", got)
+	}
+}
+
+func TestHeatProfile(t *testing.T) {
+	blocks := twoBlockFixture()
+	arr := Build(blocks, fixtureOpts())
+	prof := arr.HeatProfile("hero")
+	if len(prof) != arr.Len() {
+		t.Fatalf("profile length %d, want %d", len(prof), arr.Len())
+	}
+	for i := range prof {
+		if want := arr.Block(i).Concentration("hero"); prof[i] != want {
+			t.Errorf("profile[%d] = %v, want Concentration %v", i, prof[i], want)
+		}
+	}
+	// The hot block must stand out — that's the signal placement consumes.
+	if prof[0] <= prof[1] {
+		t.Errorf("profile %v: block 0 should be hotter than block 1", prof)
+	}
+}

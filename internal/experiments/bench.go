@@ -31,6 +31,9 @@ type BenchSection struct {
 	// simulated clock) for sections that expose them — wall-clock
 	// measures the simulator, these measure the simulated cluster.
 	SimMakespans map[string]float64 `json:"sim_makespans,omitempty"`
+	// Counters are named integer outcomes (replica moves, bytes shipped)
+	// for sections that expose them.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // WriteJSON writes the report to path (indented, trailing newline).
@@ -48,11 +51,26 @@ type SimMakespanner interface {
 	SimMakespans() map[string]float64
 }
 
+// Counterer is implemented by experiment results that can report integer
+// outcome counters (e.g. the placement sweep's moves and bytes shipped).
+type Counterer interface {
+	Counters() map[string]int64
+}
+
+// SectionFor builds a benchmark record for one experiment result measured
+// outside the suite runner (`datanet-bench -only <name> -json-bench`).
+func SectionFor(name string, wall time.Duration, out fmt.Stringer) BenchSection {
+	return benchSection(name, wall, out)
+}
+
 // benchSection builds one section record from a finished experiment.
 func benchSection(name string, wall time.Duration, out fmt.Stringer) BenchSection {
 	sec := BenchSection{Name: name, WallSeconds: wall.Seconds()}
 	if m, ok := out.(SimMakespanner); ok {
 		sec.SimMakespans = m.SimMakespans()
+	}
+	if c, ok := out.(Counterer); ok {
+		sec.Counters = c.Counters()
 	}
 	return sec
 }

@@ -144,6 +144,10 @@ func suiteSections() []suiteSection {
 			r, err := FailoverSweep()
 			return r, err
 		}},
+		{"placement-sweep", false, func(*Env) (fmt.Stringer, error) {
+			r, err := PlacementSweep(MovieParams{})
+			return r, err
+		}},
 	}
 }
 

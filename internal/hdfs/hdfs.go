@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"datanet/internal/cluster"
+	"datanet/internal/placement"
 	"datanet/internal/records"
 	"datanet/internal/trace"
 )
@@ -158,7 +159,11 @@ func (fs *FileSystem) Write(name string, recs []records.Record) (*FileInfo, erro
 			Records: cur,
 			Bytes:   curBytes,
 		}
-		b.Replicas = fs.cfg.Placement.Place(fs.rng, fs.topo, fs.cfg.Replication)
+		// Partial keeps the legacy contract: NewFileSystem guarantees
+		// Replication <= N, so an unconstrained Choose cannot come up short.
+		b.Replicas, _ = fs.cfg.Placement.Choose(placement.Request{
+			Topo: fs.topo, RNG: fs.rng, Want: fs.cfg.Replication, Partial: true,
+		})
 		fs.blocks = append(fs.blocks, b)
 		info.Blocks = append(info.Blocks, b.ID)
 		info.Bytes += curBytes

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"datanet/internal/cluster"
+	"datanet/internal/placement"
 	"datanet/internal/trace"
 )
 
@@ -19,6 +20,9 @@ import (
 
 // ErrNodeUnknown reports an out-of-range node id.
 var ErrNodeUnknown = errors.New("hdfs: unknown node")
+
+// ErrBadMove reports a replica move the name-node cannot apply.
+var ErrBadMove = errors.New("hdfs: invalid replica move")
 
 // ErrNotEnoughNodes reports that re-replication cannot maintain the factor.
 var ErrNotEnoughNodes = errors.New("hdfs: not enough live nodes to re-replicate")
@@ -71,22 +75,28 @@ func (fs *FileSystem) pickTarget(b *Block, usage map[cluster.NodeID]int64, exclu
 }
 
 // pickTargetExcluding generalizes pickTarget to a set of excluded
-// (typically dead) nodes.
+// (typically dead) nodes. It delegates to placement.LeastUsed, which
+// reproduces the historical scan (ascending ids, minimum usage, ties to
+// the lower id) bit-for-bit; the caller keeps charging usage between
+// picks exactly as before.
 func (fs *FileSystem) pickTargetExcluding(b *Block, usage map[cluster.NodeID]int64, exclude map[cluster.NodeID]bool) (cluster.NodeID, bool) {
-	has := make(map[cluster.NodeID]bool, len(b.Replicas))
-	for _, n := range b.Replicas {
-		has[n] = true
+	out, _ := placement.LeastUsed{}.Choose(placement.Request{
+		Topo:    fs.topo,
+		Want:    1,
+		Partial: true,
+		Have:    b.Replicas,
+		Usage:   usage,
+		Veto: func(id cluster.NodeID) placement.VetoReason {
+			if exclude[id] {
+				return placement.VetoDead
+			}
+			return placement.VetoNone
+		},
+	})
+	if len(out) == 0 {
+		return -1, false
 	}
-	best := cluster.NodeID(-1)
-	for _, id := range fs.topo.IDs() {
-		if exclude[id] || has[id] {
-			continue
-		}
-		if best == -1 || usage[id] < usage[best] || (usage[id] == usage[best] && id < best) {
-			best = id
-		}
-	}
-	return best, best != -1
+	return out[0], true
 }
 
 // FailNodes models the simultaneous loss of a set of data-nodes — a rack
@@ -156,6 +166,38 @@ func (fs *FileSystem) FailNodes(dead []cluster.NodeID) (moved int, lost []BlockI
 		}
 	}
 	return moved, lost
+}
+
+// ApplyMove executes one validated placement move: relocate a replica of
+// m.Block from m.From to m.To, or — when m.From is placement.AddReplica —
+// create an additional replica on m.To (the hot-block path, which may
+// push a block above the configured factor on purpose). The co-location
+// invariant is enforced here as the last line of defense: a move whose
+// target already holds the block is ErrBadMove.
+func (fs *FileSystem) ApplyMove(m placement.Move) error {
+	if m.Block < 0 || m.Block >= len(fs.blocks) {
+		return fmt.Errorf("%w: block %d out of range", ErrBadMove, m.Block)
+	}
+	if int(m.To) < 0 || int(m.To) >= fs.topo.N() {
+		return fmt.Errorf("%w: target node %d unknown", ErrBadMove, m.To)
+	}
+	b := fs.blocks[m.Block]
+	for _, n := range b.Replicas {
+		if n == m.To {
+			return fmt.Errorf("%w: node %d already holds block %d", ErrBadMove, m.To, m.Block)
+		}
+	}
+	if m.From == placement.AddReplica {
+		b.Replicas = append(b.Replicas, m.To)
+		return nil
+	}
+	for i, n := range b.Replicas {
+		if n == m.From {
+			b.Replicas[i] = m.To
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: node %d holds no replica of block %d", ErrBadMove, m.From, m.Block)
 }
 
 // BalanceReport summarizes replica distribution over nodes.

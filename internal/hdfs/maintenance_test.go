@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"datanet/internal/cluster"
+	"datanet/internal/placement"
 )
 
 func TestDecommissionNode(t *testing.T) {
@@ -196,4 +197,8 @@ func (f *floodPlacement) Place(_ *rand.Rand, topo *cluster.Topology, replication
 	}
 	f.i++
 	return out
+}
+
+func (f *floodPlacement) Choose(req placement.Request) ([]cluster.NodeID, error) {
+	return f.Place(req.RNG, req.Topo, req.Want), nil
 }

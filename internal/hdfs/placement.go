@@ -1,120 +1,28 @@
 package hdfs
 
-import (
-	"math/rand"
+import "datanet/internal/placement"
 
-	"datanet/internal/cluster"
-)
+// Replica placement lives in internal/placement since the unified-policy
+// refactor; the historical hdfs names are aliases so existing callers
+// (experiments, the public facade, tests) keep compiling against the
+// same types. The legacy Place entry points survive on the policy types
+// themselves; the filesystem write path now goes through Policy.Choose.
 
 // PlacementPolicy picks the replica nodes for a new block.
-type PlacementPolicy interface {
-	// Place returns `replication` distinct node ids. Implementations may
-	// assume replication <= topo.N() (enforced by NewFileSystem).
-	Place(rng *rand.Rand, topo *cluster.Topology, replication int) []cluster.NodeID
-	// Name identifies the policy in reports.
-	Name() string
-}
+type PlacementPolicy = placement.Policy
 
 // RandomPlacement picks replicas uniformly at random without replacement —
 // the paper's characterization of HDFS writes ("randomly distribute them
 // with several identical copies").
-type RandomPlacement struct{}
+type RandomPlacement = placement.Random
 
-// Name implements PlacementPolicy.
-func (RandomPlacement) Name() string { return "random" }
-
-// Place implements PlacementPolicy.
-func (RandomPlacement) Place(rng *rand.Rand, topo *cluster.Topology, replication int) []cluster.NodeID {
-	perm := rng.Perm(topo.N())
-	out := make([]cluster.NodeID, replication)
-	for i := 0; i < replication; i++ {
-		out[i] = cluster.NodeID(perm[i])
-	}
-	return out
-}
-
-// RackAwarePlacement mimics the HDFS default policy: the first replica on a
-// random node, the second on a node in a different rack, the third in the
-// same rack as the second (when racks permit). Extra replicas are random.
-type RackAwarePlacement struct{}
-
-// Name implements PlacementPolicy.
-func (RackAwarePlacement) Name() string { return "rack-aware" }
-
-// Place implements PlacementPolicy.
-func (RackAwarePlacement) Place(rng *rand.Rand, topo *cluster.Topology, replication int) []cluster.NodeID {
-	n := topo.N()
-	used := make(map[cluster.NodeID]bool, replication)
-	out := make([]cluster.NodeID, 0, replication)
-	add := func(id cluster.NodeID) {
-		used[id] = true
-		out = append(out, id)
-	}
-
-	first := cluster.NodeID(rng.Intn(n))
-	add(first)
-	if replication == 1 {
-		return out
-	}
-
-	pick := func(accept func(cluster.NodeID) bool) (cluster.NodeID, bool) {
-		// Scan a random permutation for the first acceptable unused node.
-		for _, p := range rng.Perm(n) {
-			id := cluster.NodeID(p)
-			if !used[id] && accept(id) {
-				return id, true
-			}
-		}
-		return 0, false
-	}
-
-	// Second replica: different rack from the first when possible.
-	second, ok := pick(func(id cluster.NodeID) bool { return !topo.SameRack(id, first) })
-	if !ok {
-		second, _ = pick(func(cluster.NodeID) bool { return true })
-	}
-	add(second)
-
-	// Third replica: same rack as the second when possible.
-	for len(out) < replication {
-		var next cluster.NodeID
-		if len(out) == 2 {
-			next, ok = pick(func(id cluster.NodeID) bool { return topo.SameRack(id, second) })
-			if !ok {
-				next, _ = pick(func(cluster.NodeID) bool { return true })
-			}
-		} else {
-			next, _ = pick(func(cluster.NodeID) bool { return true })
-		}
-		add(next)
-	}
-	return out
-}
+// RackAwarePlacement mimics the HDFS default policy: the first replica on
+// a random node, the second on a node in a different rack, the third in
+// the same rack as the second (when racks permit). Extra replicas are
+// random.
+type RackAwarePlacement = placement.RackAware
 
 // RoundRobinPlacement stripes replicas deterministically: block i gets
 // nodes i, i+stride, i+2*stride … (mod N). Useful for tests that need a
 // fully predictable layout and as a perfectly "even" ablation baseline.
-type RoundRobinPlacement struct {
-	// next is internal state; the zero value starts at node 0.
-	next int
-	// Stride between replicas; 1 when zero.
-	Stride int
-}
-
-// Name implements PlacementPolicy.
-func (p *RoundRobinPlacement) Name() string { return "round-robin" }
-
-// Place implements PlacementPolicy.
-func (p *RoundRobinPlacement) Place(_ *rand.Rand, topo *cluster.Topology, replication int) []cluster.NodeID {
-	stride := p.Stride
-	if stride <= 0 {
-		stride = 1
-	}
-	n := topo.N()
-	out := make([]cluster.NodeID, replication)
-	for i := range out {
-		out[i] = cluster.NodeID((p.next + i*stride) % n)
-	}
-	p.next = (p.next + 1) % n
-	return out
-}
+type RoundRobinPlacement = placement.RoundRobin

@@ -1,0 +1,73 @@
+package placement
+
+import (
+	"sort"
+
+	"datanet/internal/cluster"
+	"datanet/internal/hashutil"
+)
+
+// The metadata cluster's shard-replica placement, ported from
+// internal/clusterd/shardmap.go. Exported here so clusterd routes its
+// primary/follower selection through the shared layer while loadgen keeps
+// computing the identical shard map client-side.
+
+// ShardOf maps an array name to its shard: FNV-64a modulo the shard
+// count. Clients (loadgen) compute the same function from the topology
+// view, so routing needs no per-array directory.
+func ShardOf(name string, shards int) int {
+	return int(hashutil.Sum64String(name) % uint64(shards))
+}
+
+// RendezvousScore is the highest-random-weight score of (shard, node):
+// a splitmix64 finalizer over the pair. Deterministic across processes
+// and Go versions, like the chaos RNG it mirrors.
+func RendezvousScore(shard int, id cluster.NodeID) uint64 {
+	z := uint64(shard)*0x9e3779b97f4a7c15 + uint64(id)*0xd1342543de82ef95 + 0x2545f4914f6cdd1d
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RendezvousRank orders candidate nodes for a shard by descending score
+// (ties by lower ID, which cannot happen with distinct IDs but keeps the
+// sort total). The prefix of the ranking is the shard's desired replica
+// set: adding or removing one node perturbs only the shards whose ranking
+// the change actually enters — the consistent-hashing property that keeps
+// topology changes from reshuffling the whole catalog.
+func RendezvousRank(shard int, ids []cluster.NodeID) []cluster.NodeID {
+	out := append([]cluster.NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := RendezvousScore(shard, out[i]), RendezvousScore(shard, out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Rendezvous chooses the highest-ranked eligible candidates for a fixed
+// shard — the cluster's follower-enlistment walk expressed as a Policy.
+type Rendezvous struct {
+	// Shard selects the ranking; each shard has its own.
+	Shard int
+}
+
+// Name implements Policy.
+func (p Rendezvous) Name() string { return "rendezvous" }
+
+// Choose implements Policy: walk the rendezvous ranking, skip holders and
+// vetoed nodes, stop at Want.
+func (p Rendezvous) Choose(req Request) ([]cluster.NodeID, error) {
+	out := make([]cluster.NodeID, 0, req.Want)
+	for _, id := range RendezvousRank(p.Shard, req.universe()) {
+		if len(out) == req.Want {
+			break
+		}
+		if req.eligible(id) {
+			out = append(out, id)
+		}
+	}
+	return req.done(out)
+}
