@@ -11,7 +11,7 @@
 //	datanet analyze -data reviews.dnr -sub movie-00000 -app wordcount [-sched datanet]
 //	datanet top     -data reviews.dnr [-n 10]
 //	datanet suite   [-parallel N] [-json-bench BENCH_suite.json]
-//	datanet chaos   [-runs 200] [-seed 1] [-detect heartbeat] [-shrink]
+//	datanet chaos   [-runs 200] [-seed 1] [-detect heartbeat] [-mitigate speculative] [-shrink]
 //	datanet chaos   -cluster 4 -replicas 2 [-runs 200] [-seed 1]
 //	datanet serve   -meta reviews=reviews.em [-addr 127.0.0.1:8080] [-cache 1024]
 //	datanet serve   -meta reviews=reviews.em -cluster 3 -replicas 2 [-shards 4]
@@ -81,6 +81,7 @@ func usage() {
   analyze -data FILE -sub KEY -app NAME [-sched locality|datanet|maxflow|lpt] [-skip]
           [-meta FILE] [-crash N@T[:REJOIN],...] [-slow NxF,...] [-readerr P] [-retries N]
           [-detect oracle|heartbeat|phi] [-hb-interval S] [-hb-timeout S]
+          [-speculate [-spec-quantile Q]] [-coded RATE]  (straggler mitigation)
           [-rebalance off|hotspot|anneal|both [-rebalance-ticks N]]
           [-trace OUT [-trace-format jsonl|chrome]] [-json]
   top     -data FILE [-n N] | -meta FILE [-n N]
@@ -88,6 +89,7 @@ func usage() {
   suite   [-parallel N] [-json-bench FILE]
   chaos   [-runs N] [-seed S] [-detect heartbeat|phi|oracle] [-shrink]
           [-rebalance off|hotspot|anneal|both]  (no-lost-blocks invariant)
+          [-mitigate off|speculative|coded]  (mitigation invariants)
           [-cluster N [-replicas K] [-shards S]]  (sharded-cluster invariants)
   serve   -meta NAME=FILE [-meta NAME=FILE ...] [-addr HOST:PORT] [-cache N]
           [-cluster N [-replicas K] [-shards S]]  (sharded, replicated serving)
@@ -244,6 +246,9 @@ func runAnalyze(args []string) error {
 	detectMode := c.fs.String("detect", "oracle", "failure detector: oracle | heartbeat | phi")
 	hbInterval := c.fs.Float64("hb-interval", 0, "heartbeat interval in simulated seconds (0 = default 0.5)")
 	hbTimeout := c.fs.Float64("hb-timeout", 0, "suspicion timeout in simulated seconds (0 = 3 × interval)")
+	speculate := c.fs.Bool("speculate", false, "launch budgeted backup attempts for tasks projected past the completion quantile")
+	specQuantile := c.fs.Float64("spec-quantile", 0.9, "speculation trigger quantile in (0,1), used with -speculate")
+	coded := c.fs.Float64("coded", 0, "coded k-of-n execution at this rate k/n in (0,1) (0 = off; e.g. 0.7)")
 	rebalance := c.fs.String("rebalance", "off", "distribution-aware replica rebalancing before the run: off | hotspot | anneal | both")
 	rebalanceTicks := c.fs.Int("rebalance-ticks", 2, "maintenance ticks to run when -rebalance is enabled")
 	traceOut := c.fs.String("trace", "", "write the run's event timeline to this file")
@@ -344,6 +349,15 @@ func runAnalyze(args []string) error {
 		return err
 	}
 	detCfg := datanet.DetectorConfig{Mode: mode, Interval: *hbInterval, Timeout: *hbTimeout}
+	var mit *datanet.MitigationConfig
+	switch {
+	case *speculate && *coded > 0:
+		return fmt.Errorf("-speculate and -coded are mutually exclusive")
+	case *speculate:
+		mit = &datanet.MitigationConfig{Mode: datanet.MitigateSpeculative, Quantile: *specQuantile}
+	case *coded > 0:
+		mit = &datanet.MitigationConfig{Mode: datanet.MitigateCoded, Rate: *coded}
+	}
 	var rec *datanet.Trace
 	if *traceOut != "" || *jsonOut {
 		rec = datanet.NewTrace()
@@ -353,8 +367,8 @@ func runAnalyze(args []string) error {
 		App: app, Scheduler: schedID, Meta: meta, MetaErr: metaErr,
 		SkipEmpty: *skip, Execute: *execute,
 		Faults: plan, Retry: datanet.RetryPolicy{MaxAttempts: *retries},
-		Detect: detCfg,
-		Trace:  rec,
+		Detect: detCfg, Mitigate: mit,
+		Trace: rec,
 	}.Run()
 	if err != nil {
 		return err
@@ -404,6 +418,14 @@ func runAnalyze(args []string) error {
 		}
 		fmt.Printf("  failure detection: %d responses (mean %.2f s, max %.2f s), %d false suspicions, %d duplicate kills\n",
 			len(res.DetectionLatency), mean, max, res.FalseSuspicions, res.DuplicateKills)
+	}
+	if mit != nil && mit.Mode == datanet.MitigateSpeculative {
+		fmt.Printf("  speculation: %d backups launched (quantile %.2f), %d won, %s of duplicate work\n",
+			res.SpeculativeLaunches, *specQuantile, res.SpeculativeWins, metrics.Seconds(res.WastedTaskSeconds))
+	}
+	if mit != nil && mit.Mode == datanet.MitigateCoded {
+		fmt.Printf("  coded execution: %d groups + %d parity tasks (rate %.2f), %d decodes rebuilt %s\n",
+			res.CodedGroups, res.CodedParityUnits, *coded, res.CodedDecodes, metrics.Bytes(res.CodedDecodedBytes))
 	}
 	if res.MetadataFallback {
 		fmt.Printf("  metadata fallback: degraded to %s\n", res.SchedulerName)
@@ -616,6 +638,7 @@ func runChaos(args []string) error {
 	detectMode := fs.String("detect", "heartbeat", "failure detector under test: oracle | heartbeat | phi")
 	shrink := fs.Bool("shrink", false, "reduce the first violating plan to a minimal counterexample")
 	rebalance := fs.String("rebalance", "off", "run the distribution-aware rebalancer before each job and check the no-lost-blocks invariant: off | hotspot | anneal | both")
+	mitigate := fs.String("mitigate", "off", "add a straggler-mitigated arm and check the mitigation invariants: off | speculative | coded")
 	clusterN := fs.Int("cluster", 0, "check the sharded metadata cluster with N nodes instead of the job engine (0 = engine)")
 	replicas := fs.Int("replicas", 2, "followers per shard in cluster chaos")
 	shards := fs.Int("shards", 4, "catalog shards in cluster chaos")
@@ -634,9 +657,13 @@ func runChaos(args []string) error {
 	if err != nil {
 		return err
 	}
+	if _, err := datanet.ParseMitigationMode(*mitigate); err != nil {
+		return err
+	}
 	p := chaos.DefaultParams()
 	p.Detect.Mode = mode
 	p.Rebalance = rebalanceMode
+	p.Mitigate = *mitigate
 	rep, err := chaos.Run(*runs, *seed, p)
 	if err != nil {
 		return err

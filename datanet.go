@@ -35,6 +35,7 @@ import (
 	"datanet/internal/metrics"
 	"datanet/internal/records"
 	"datanet/internal/sched"
+	"datanet/internal/straggle"
 	"datanet/internal/trace"
 )
 
@@ -108,6 +109,29 @@ const (
 
 // ParseDetectorMode parses "oracle", "heartbeat"/"hb" or "phi".
 func ParseDetectorMode(s string) (DetectorMode, error) { return detect.ParseMode(s) }
+
+// MitigationConfig configures the straggler-mitigation layer: quantile-
+// triggered speculative backups or coded k-of-n execution. The zero value
+// (and a nil pointer) disable mitigation bit-identically.
+type MitigationConfig = straggle.Config
+
+// MitigationMode enumerates mitigation strategies.
+type MitigationMode = straggle.Mode
+
+// Mitigation modes for MitigationConfig.Mode.
+const (
+	// MitigateOff disables mitigation (the zero value).
+	MitigateOff = straggle.ModeOff
+	// MitigateSpeculative launches budgeted backup attempts for tasks
+	// whose projected completion sits above the running-attempt quantile.
+	MitigateSpeculative = straggle.ModeSpeculative
+	// MitigateCoded splits the task set into k-of-n groups with Reed-
+	// Solomon parity tasks; any k completions reconstruct the rest.
+	MitigateCoded = straggle.ModeCoded
+)
+
+// ParseMitigationMode parses "off" (or ""), "speculative" or "coded".
+func ParseMitigationMode(s string) (MitigationMode, error) { return straggle.ParseMode(s) }
 
 // Rebalancer is the distribution-aware replica maintenance loop: hot
 // blocks (high access count × sub-dataset concentration, straight from
@@ -352,6 +376,10 @@ type Job struct {
 	// may falsely suspect slow nodes (reconciled by duplicate-completion
 	// dedupe).
 	Detect DetectorConfig
+	// Mitigate, when non-nil and not off, turns on straggler mitigation:
+	// quantile-triggered speculative backups or coded k-of-n execution.
+	// Nil (or Mode "off") runs are bit-identical to pre-mitigation runs.
+	Mitigate *MitigationConfig
 	// MetaErr records that meta-data for this job failed to load (e.g. a
 	// corrupt ElasticMap encoding). The job then degrades to the locality
 	// baseline and sets Result.MetadataFallback instead of failing.
@@ -381,6 +409,7 @@ func (j Job) Run() (*Result, error) {
 		Faults:     j.Faults,
 		Retry:      j.Retry,
 		Detect:     j.Detect,
+		Mitigate:   j.Mitigate,
 		WeightsErr: j.MetaErr,
 		Trace:      j.Trace,
 	})

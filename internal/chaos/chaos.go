@@ -23,6 +23,7 @@ import (
 	"datanet/internal/mapreduce"
 	"datanet/internal/records"
 	"datanet/internal/sched"
+	"datanet/internal/straggle"
 )
 
 // Params sizes the chaos fixture and bounds the generated fault plans.
@@ -50,6 +51,20 @@ type Params struct {
 	// replicas co-located on one node, and the run's output must still
 	// match the fault-free reference.
 	Rebalance string
+	// Mitigate, when not "" / "off", adds a straggler-mitigated arm
+	// ("speculative" = quantile-triggered backups, "coded" = k-of-n
+	// redundancy) that runs every plan under all the standard invariants
+	// plus the mitigation ones: a mitigated run must succeed whenever the
+	// unmitigated baseline does, and its extra work must stay within the
+	// configured budget (launch cap / fixed parity layout).
+	Mitigate string
+	// PayloadBytes overrides the fixture's per-record payload size and
+	// TaskOverhead the engine's fixed per-task cost (zero = defaults).
+	// Together they let a mitigation campaign build a scan-dominated
+	// fixture where slowdown plans produce genuine stragglers; the
+	// default fixture's 2 KiB blocks are overhead-dominated.
+	PayloadBytes int
+	TaskOverhead float64
 }
 
 // DefaultParams is the CI-sized configuration: an 8-node fixture small
@@ -94,6 +109,10 @@ type Harness struct {
 	weights []int64
 	healthy map[string]*mapreduce.Result
 	horizon float64
+	// mit is the parsed Params.Mitigate config (nil when off) and mitArm
+	// the name of the mitigated scheduler arm it adds.
+	mit    *straggle.Config
+	mitArm string
 }
 
 type schedulerArm struct {
@@ -102,7 +121,7 @@ type schedulerArm struct {
 }
 
 func (h *Harness) schedulers() []schedulerArm {
-	return []schedulerArm{
+	arms := []schedulerArm{
 		{"hadoop-locality", func(c *mapreduce.Config) {}},
 		{"datanet", func(c *mapreduce.Config) {
 			c.Picker = sched.NewDataNetPicker
@@ -110,6 +129,13 @@ func (h *Harness) schedulers() []schedulerArm {
 		}},
 		{"speculative", func(c *mapreduce.Config) { c.Speculative = true }},
 	}
+	if h.mit != nil {
+		arms = append(arms, schedulerArm{h.mitArm, func(c *mapreduce.Config) {
+			mit := *h.mit
+			c.Mitigate = &mit
+		}})
+	}
+	return arms
 }
 
 // chaosFS builds the fixture filesystem. The layout is a pure function of
@@ -124,6 +150,10 @@ func chaosFS(p Params) (*hdfs.FileSystem, error) {
 	if err != nil {
 		return nil, err
 	}
+	payload := strings.Repeat("w ", 20)
+	if p.PayloadBytes > 0 {
+		payload = strings.Repeat("x", p.PayloadBytes)
+	}
 	var recs []records.Record
 	for i := 0; i < p.Records; i++ {
 		sub := fmt.Sprintf("bg-%d", i%9)
@@ -134,7 +164,7 @@ func chaosFS(p Params) (*hdfs.FileSystem, error) {
 			Sub:     sub,
 			Time:    int64(i),
 			Rating:  3,
-			Payload: strings.Repeat("w ", 20),
+			Payload: payload,
 		})
 	}
 	if _, err := fs.Write("log", recs); err != nil {
@@ -147,7 +177,7 @@ func (h *Harness) baseConfig(fs *hdfs.FileSystem) mapreduce.Config {
 	return mapreduce.Config{
 		FS: fs, File: "log", TargetSub: "movie-A",
 		App: apps.WordCount{}, Picker: sched.NewLocalityPicker,
-		ExecuteApp: true,
+		ExecuteApp: true, TaskOverhead: h.p.TaskOverhead,
 	}
 }
 
@@ -158,6 +188,16 @@ func NewHarness(p Params) (*Harness, error) {
 		p = DefaultParams()
 	}
 	h := &Harness{p: p, healthy: map[string]*mapreduce.Result{}}
+	if p.Mitigate != "" {
+		mode, err := straggle.ParseMode(p.Mitigate)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		if mode != straggle.ModeOff {
+			h.mit = &straggle.Config{Mode: mode}
+			h.mitArm = "mitigate-" + string(mode)
+		}
+	}
 
 	// Ground-truth weights for the DataNet arm, from the block split
 	// (identical across fixture instances).
@@ -190,6 +230,13 @@ func NewHarness(p Params) (*Harness, error) {
 			return nil, fmt.Errorf("chaos: healthy reference (%s): %w", s.name, err)
 		}
 		h.healthy[s.name] = res
+	}
+	// The mitigated arm must be output-transparent even before any fault
+	// is injected: redundancy may change the schedule, never the answer.
+	if h.mit != nil {
+		if !reflect.DeepEqual(h.healthy[h.mitArm].Output, h.healthy["hadoop-locality"].Output) {
+			return nil, fmt.Errorf("chaos: healthy %s output diverges from the unmitigated baseline", h.mitArm)
+		}
 	}
 	h.horizon = h.healthy["hadoop-locality"].FilterEnd
 	return h, nil
@@ -226,6 +273,7 @@ func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
 		fail("-", "plan-validate", "generated plan invalid: %v", err)
 		return out
 	}
+	armErr := map[string]error{}
 	for _, s := range h.schedulers() {
 		run := func(report bool) (*mapreduce.Result, error) {
 			fs, err := chaosFS(h.p)
@@ -251,6 +299,7 @@ func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
 		}
 		res, err := run(true)
 		res2, err2 := run(false)
+		armErr[s.name] = err
 
 		// Replay: identical (seed, plan, config) must reproduce the run
 		// bit for bit — errors included.
@@ -313,6 +362,36 @@ func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
 		if res.JobTime > bound {
 			fail(s.name, "makespan-bound", "job time %g exceeds %g (healthy %g)",
 				res.JobTime, bound, healthy.JobTime)
+		}
+		// Mitigation arm: work amplification stays within the declared
+		// budget — the launch cap for speculation, the fixed parity
+		// layout for coding (faults must never inflate redundancy).
+		if h.mit != nil && s.name == h.mitArm {
+			switch h.mit.Mode {
+			case straggle.ModeSpeculative:
+				budget := len(healthy.Tasks) / 4
+				if budget < 1 {
+					budget = 1
+				}
+				if res.SpeculativeLaunches > budget {
+					fail(s.name, "mitigation-budget", "%d backups launched, budget %d",
+						res.SpeculativeLaunches, budget)
+				}
+			case straggle.ModeCoded:
+				if res.CodedGroups != healthy.CodedGroups || res.CodedParityUnits != healthy.CodedParityUnits {
+					fail(s.name, "mitigation-budget", "coded layout %d groups / %d parity, healthy %d / %d",
+						res.CodedGroups, res.CodedParityUnits, healthy.CodedGroups, healthy.CodedParityUnits)
+				}
+			}
+		}
+	}
+	// A straggler mitigation must never turn a survivable plan into a
+	// failure: if the unmitigated baseline finished, the mitigated run
+	// has strictly more ways to finish.
+	if h.mit != nil {
+		if base, mit := armErr["hadoop-locality"], armErr[h.mitArm]; base == nil && mit != nil {
+			fail(h.mitArm, "mitigation-no-new-failure",
+				"baseline succeeded but mitigated run failed: %v", mit)
 		}
 	}
 	return out

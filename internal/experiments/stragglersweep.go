@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+
+	"datanet/internal/apps"
+	"datanet/internal/cluster"
+	"datanet/internal/detect"
+	"datanet/internal/faults"
+	"datanet/internal/gen"
+	"datanet/internal/mapreduce"
+	"datanet/internal/metrics"
+	"datanet/internal/sched"
+	"datanet/internal/straggle"
+)
+
+// The straggler sweep measures what straggler *mitigation* buys under
+// heterogeneity: a few nodes run at a fraction of full speed (the classic
+// degraded-disk profile), which stretches the filter phase's completion
+// tail from a wall of near-identical task times into a long tail whose
+// maximum is the makespan. The sweep compares doing nothing against the
+// two mitigations of internal/straggle — quantile-triggered speculation
+// at several trigger quantiles, and coded k-of-n execution at several
+// redundancy rates — across fault plans, failure detectors and cluster
+// scales, and reports both the gain (makespan, completion-tail quantiles)
+// and the bill (backup launches, wasted task-seconds, decode work).
+
+// StragglerRow is one (scale, plan, detector, arm) outcome.
+type StragglerRow struct {
+	Nodes    int
+	Plan     string
+	Detector string
+	Arm      string
+	// FilterEnd and JobTime are the filter-phase and end-to-end makespans.
+	FilterEnd, JobTime float64
+	// P50/P90/P99 summarize the filter-task completion-time CDF (seconds
+	// at which 50/90/99% of surviving task outputs had committed).
+	P50, P90, P99 float64
+	// Launches/Wins/Wasted bill the speculation arm; Decodes bills the
+	// coded arm's reconstruction work.
+	Launches, Wins int
+	Wasted         float64
+	Decodes        int
+	// OutputOK reports the run produced the fault-free reference output.
+	OutputOK bool
+}
+
+// StragglerSweepResult is the full mitigation sweep.
+type StragglerSweepResult struct {
+	Rows []StragglerRow
+}
+
+// stragglerArm names one mitigation configuration.
+type stragglerArm struct {
+	name string
+	mit  *straggle.Config
+}
+
+func stragglerArms() []stragglerArm {
+	arms := []stragglerArm{{"none", nil}}
+	for _, q := range []float64{0.75, 0.90, 0.95} {
+		arms = append(arms, stragglerArm{
+			fmt.Sprintf("spec-q%.2f", q),
+			&straggle.Config{Mode: straggle.ModeSpeculative, Quantile: q},
+		})
+	}
+	for _, rate := range []float64{0.70, 0.85} {
+		arms = append(arms, stragglerArm{
+			fmt.Sprintf("coded-r%.2f", rate),
+			&straggle.Config{Mode: straggle.ModeCoded, Rate: rate},
+		})
+	}
+	return arms
+}
+
+// stragglerPlans builds the fault plans for one scale: a pure-slowdown
+// heterogeneity profile (~2% of nodes badly degraded), and the same
+// profile with a mid-filter crash-and-rejoin on top. Slow victims are
+// spread across the cluster; the crash victim is never a slowed node.
+func stragglerPlans(nodes int, filterEnd float64, seed int64) []struct {
+	name string
+	plan *faults.Plan
+} {
+	nSlow := nodes / 64
+	if nSlow < 2 {
+		nSlow = 2
+	}
+	stride := nodes / nSlow
+	var slow []faults.Slowdown
+	for i := 0; i < nSlow; i++ {
+		factor := 0.05
+		if i%2 == 1 {
+			factor = 0.15
+		}
+		slow = append(slow, faults.Slowdown{
+			Node: cluster.NodeID((3 + i*stride) % nodes),
+			CPU:  factor, Disk: factor,
+		})
+	}
+	slow2 := append([]faults.Slowdown(nil), slow...)
+	return []struct {
+		name string
+		plan *faults.Plan
+	}{
+		{"slow-heavy", &faults.Plan{Seed: seed, Slow: slow}},
+		{"slow+crash", &faults.Plan{Seed: seed, Slow: slow2, Crashes: []faults.Crash{
+			{Node: 1, At: filterEnd * 0.4, RejoinAt: filterEnd * 1.2},
+		}}},
+	}
+}
+
+// taskEndQuantiles summarizes the completion-time CDF of surviving filter
+// outputs at the 50th/90th/99th percentiles (nearest-rank).
+func taskEndQuantiles(res *mapreduce.Result) (p50, p90, p99 float64) {
+	var ends []float64
+	for _, st := range res.Tasks {
+		if !st.Lost {
+			ends = append(ends, st.End)
+		}
+	}
+	if len(ends) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(ends)
+	at := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(ends)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ends[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
+}
+
+// StragglerSweep runs the mitigation grid at each cluster scale (default
+// 128 and 1024 nodes, the paper testbed's size and 8× it).
+func StragglerSweep(scales []int, p MovieParams) (*StragglerSweepResult, error) {
+	if len(scales) == 0 {
+		scales = []int{128, 1024}
+	}
+	if p.Nodes == 0 {
+		p = DefaultFaultParams()
+	}
+	res := &StragglerSweepResult{}
+	app := apps.WordCount{}
+	const meanRecordBytes = 305
+	for _, nodes := range scales {
+		q := p
+		q.Nodes = nodes
+		if q.Racks < nodes/32 {
+			q.Racks = nodes / 32
+		}
+		// One block per node on average (×3 replicas keeps every node busy)
+		// so the completion tail is one task wave, not queueing noise.
+		q.Blocks = nodes
+		recs := gen.Movies(gen.MovieConfig{
+			Movies:   q.Movies,
+			Reviews:  int(q.BlockBytes) * q.Blocks / meanRecordBytes,
+			SpanDays: 365,
+			Seed:     q.Seed,
+		})
+		target := gen.MovieID(0)
+		runOne := func(plan *faults.Plan, det detect.Config, mit *straggle.Config) (*mapreduce.Result, error) {
+			fs, err := faultFS(recs, q)
+			if err != nil {
+				return nil, err
+			}
+			return mapreduce.Run(mapreduce.Config{
+				FS: fs, File: "dataset.log", TargetSub: target,
+				App: app, Picker: sched.NewLocalityPicker, ExecuteApp: true,
+				Faults: plan, Detect: det, Mitigate: mit,
+			})
+		}
+		healthy, err := runOne(nil, detect.Config{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("straggler sweep healthy %d nodes: %w", nodes, err)
+		}
+		detectors := []struct {
+			name string
+			det  detect.Config
+		}{
+			{"oracle", detect.Config{}},
+			{"heartbeat", detect.Config{Mode: detect.Heartbeat, Interval: healthy.FilterEnd * 0.02}},
+		}
+		for _, pl := range stragglerPlans(nodes, healthy.FilterEnd, q.Seed) {
+			for _, d := range detectors {
+				for _, arm := range stragglerArms() {
+					r, err := runOne(pl.plan, d.det, arm.mit)
+					if err != nil {
+						return nil, fmt.Errorf("straggler sweep %d/%s/%s/%s: %w",
+							nodes, pl.name, d.name, arm.name, err)
+					}
+					row := StragglerRow{
+						Nodes: nodes, Plan: pl.name, Detector: d.name, Arm: arm.name,
+						FilterEnd: r.FilterEnd, JobTime: r.JobTime,
+						Launches: r.SpeculativeLaunches, Wins: r.SpeculativeWins,
+						Wasted: r.WastedTaskSeconds, Decodes: r.CodedDecodes,
+						OutputOK: reflect.DeepEqual(r.Output, healthy.Output),
+					}
+					row.P50, row.P90, row.P99 = taskEndQuantiles(r)
+					res.Rows = append(res.Rows, row)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *StragglerSweepResult) String() string {
+	t := metrics.NewTable("Extension — straggler mitigation under heterogeneity (filter-tail CDF + wasted work)",
+		"nodes", "plan", "detector", "arm", "filter", "job time", "p50/p90/p99", "backups", "wins", "wasted", "decodes", "output")
+	for _, row := range r.Rows {
+		ok := "ok"
+		if !row.OutputOK {
+			ok = "DIVERGED"
+		}
+		t.Add(fmt.Sprint(row.Nodes), row.Plan, row.Detector, row.Arm,
+			metrics.Seconds(row.FilterEnd), metrics.Seconds(row.JobTime),
+			fmt.Sprintf("%.1f/%.1f/%.1f s", row.P50, row.P90, row.P99),
+			fmt.Sprint(row.Launches), fmt.Sprint(row.Wins),
+			metrics.Seconds(row.Wasted), fmt.Sprint(row.Decodes), ok)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteString("  (speculation trims the tail for the cost of duplicate task-seconds; coding caps the tail\n   at the k-th completion per group for a fixed parity surcharge, decoding the stragglers' outputs)\n")
+	return sb.String()
+}
+
+// SimMakespans exposes every cell's job makespan to the benchmark emitter.
+func (r *StragglerSweepResult) SimMakespans() map[string]float64 {
+	m := make(map[string]float64, len(r.Rows))
+	for _, row := range r.Rows {
+		m[fmt.Sprintf("%d/%s/%s/%s", row.Nodes, row.Plan, row.Detector, row.Arm)] = row.JobTime
+	}
+	return m
+}
+
+// Counters exposes the sweep-wide mitigation bill to the benchmark
+// emitter (the BENCH_9 gate's counters).
+func (r *StragglerSweepResult) Counters() map[string]int64 {
+	var launches, wins, decodes, diverged int64
+	var wasted float64
+	for _, row := range r.Rows {
+		launches += int64(row.Launches)
+		wins += int64(row.Wins)
+		decodes += int64(row.Decodes)
+		wasted += row.Wasted
+		if !row.OutputOK {
+			diverged++
+		}
+	}
+	return map[string]int64{
+		"speculative_launches": launches,
+		"speculative_wins":     wins,
+		"wasted_task_seconds":  int64(math.Round(wasted)),
+		"coded_decode_count":   decodes,
+		"output_divergences":   diverged,
+	}
+}

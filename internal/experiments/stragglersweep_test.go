@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// A reduced-scale sweep must show the headline effects the CI gate pins
+// on the full run: both mitigations beat the unmitigated makespan under
+// the heavy-slowdown plan, backups win, decodes happen, and no cell ever
+// diverges from the fault-free output.
+func TestStragglerSweepSmall(t *testing.T) {
+	r, err := StragglerSweep([]int{32}, MovieParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * 2 * len(stragglerArms())
+	if len(r.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), wantRows)
+	}
+	ms := r.SimMakespans()
+	none := ms["32/slow-heavy/oracle/none"]
+	if none <= 0 {
+		t.Fatalf("missing unmitigated cell: %v", ms)
+	}
+	for _, arm := range []string{"spec-q0.90", "coded-r0.70"} {
+		if got := ms["32/slow-heavy/oracle/"+arm]; got >= none {
+			t.Errorf("%s makespan %.2f did not beat unmitigated %.2f", arm, got, none)
+		}
+	}
+	for _, row := range r.Rows {
+		if !row.OutputOK {
+			t.Errorf("%d/%s/%s/%s diverged from the fault-free output",
+				row.Nodes, row.Plan, row.Detector, row.Arm)
+		}
+		if !(row.P50 <= row.P90 && row.P90 <= row.P99 && row.P99 <= row.FilterEnd) {
+			t.Errorf("%s/%s/%s: tail quantiles not monotone: %.2f/%.2f/%.2f vs filter %.2f",
+				row.Plan, row.Detector, row.Arm, row.P50, row.P90, row.P99, row.FilterEnd)
+		}
+		if strings.HasPrefix(row.Arm, "none") && (row.Launches != 0 || row.Decodes != 0 || row.Wasted != 0) {
+			t.Errorf("unmitigated cell billed mitigation work: %+v", row)
+		}
+	}
+	c := r.Counters()
+	if c["speculative_wins"] == 0 || c["coded_decode_count"] == 0 {
+		t.Errorf("sweep exercised no mitigation: %v", c)
+	}
+	if c["output_divergences"] != 0 {
+		t.Errorf("output divergences: %v", c)
+	}
+}

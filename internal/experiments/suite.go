@@ -148,6 +148,10 @@ func suiteSections() []suiteSection {
 			r, err := PlacementSweep(MovieParams{})
 			return r, err
 		}},
+		{"straggler-sweep", false, func(*Env) (fmt.Stringer, error) {
+			r, err := StragglerSweep(nil, MovieParams{})
+			return r, err
+		}},
 	}
 }
 

@@ -46,7 +46,11 @@ func (c Crash) permanent() bool { return c.RejoinAt <= c.At }
 
 // Slowdown scales one node's hardware rates for the whole run, modeling a
 // degraded machine (failing disk, thermal throttling, oversubscribed NIC).
-// Factors are multipliers in (0, 1]; a zero factor means "unchanged".
+// Factors are multipliers in (0, 1]; a factor of exactly 0 means
+// "unchanged" — it is the unset value, not a total stall (use a small
+// positive factor for a near-dead resource). A plan may name each node in
+// at most one Slowdown entry: Validate rejects duplicates rather than
+// letting a later entry silently overwrite an earlier one.
 type Slowdown struct {
 	Node cluster.NodeID
 	// CPU, Disk and Net scale the corresponding rates. 0.5 = half speed.
@@ -112,11 +116,20 @@ func (p *Plan) Validate(n int) error {
 			}
 		}
 	}
+	// The injector keys slowdowns by node, so two entries for one node
+	// would silently resolve last-write-wins; reject the ambiguity instead.
+	slowSeen := map[cluster.NodeID]bool{}
 	for _, s := range p.Slow {
 		if int(s.Node) < 0 || int(s.Node) >= n {
 			return fmt.Errorf("%w: slowdown node %d out of range [0,%d)", ErrBadPlan, s.Node, n)
 		}
+		if slowSeen[s.Node] {
+			return fmt.Errorf("%w: duplicate slowdown entry for node %d", ErrBadPlan, s.Node)
+		}
+		slowSeen[s.Node] = true
 		for _, f := range []float64{s.CPU, s.Disk, s.Net} {
+			// Factor 0 is "unchanged" by definition (see Slowdown), so the
+			// open interval check is only on negatives and >1.
 			if f < 0 || f > 1 || math.IsNaN(f) {
 				return fmt.Errorf("%w: slowdown factor %v not in [0,1]", ErrBadPlan, f)
 			}

@@ -23,6 +23,13 @@ func TestPlanValidate(t *testing.T) {
 		{"good slowdown", &Plan{Slow: []Slowdown{{Node: 2, CPU: 0.5}}}, true},
 		{"slowdown factor >1", &Plan{Slow: []Slowdown{{Node: 2, Disk: 1.5}}}, false},
 		{"slowdown node out of range", &Plan{Slow: []Slowdown{{Node: 99}}}, false},
+		{"slowdown factor 0 means unchanged", &Plan{Slow: []Slowdown{{Node: 2}}}, true},
+		{"two slowdowns distinct nodes", &Plan{Slow: []Slowdown{
+			{Node: 1, CPU: 0.5}, {Node: 2, Disk: 0.5}}}, true},
+		{"duplicate slowdown node", &Plan{Slow: []Slowdown{
+			{Node: 2, CPU: 0.5}, {Node: 2, CPU: 0.25}}}, false},
+		{"duplicate slowdown node different resources", &Plan{Slow: []Slowdown{
+			{Node: 3, CPU: 0.5}, {Node: 3, Net: 0.5}}}, false},
 		{"read prob ok", &Plan{Read: ReadErrors{Prob: 0.2}}, true},
 		{"read prob 1", &Plan{Read: ReadErrors{Prob: 1}}, false},
 		{"read prob negative", &Plan{Read: ReadErrors{Prob: -0.1}}, false},

@@ -1,0 +1,473 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"datanet/internal/cluster"
+	"datanet/internal/hdfs"
+	"datanet/internal/records"
+	"datanet/internal/sched"
+	"datanet/internal/straggle"
+	"datanet/internal/trace"
+)
+
+// Coded k-of-n execution (straggle.ModeCoded): the filter phase's task
+// list is rewritten so every group of k consecutive tasks carries
+// n−k > 0 parity units — pre-placed coded blocks whose filter output is
+// an MDS-coded combination of the group's fragments. Any k unit
+// completions satisfy a group; the remaining in-flight units are killed
+// and queued ones dropped, so a slow node's units simply never finish
+// and the barrier does not wait for them. Missing systematic fragments
+// are reconstructed at the barrier by a real GF(256) Reed–Solomon
+// decode (see internal/straggle), charged to the node that completed
+// the group.
+
+// parityBlockBase offsets synthetic parity block IDs far above any real
+// block ID so they can never collide with the filesystem's blocks.
+const parityBlockBase hdfs.BlockID = 1 << 30
+
+// codedState tracks per-group completion for the filter simulation.
+type codedState struct {
+	layout     straggle.Layout
+	decodeCost float64
+
+	need      []int  // per group: k completions required
+	live      []int  // per group: live committed units
+	satisfied []bool // per group
+	satCount  int
+	satAt     []float64        // per group: instant of the k-th completion
+	satNode   []cluster.NodeID // per group: node of the k-th completion
+	// abandoned marks parity units given up for good (attempt cap or all
+	// replicas lost); an abandoned unit never blocks the group — the k
+	// threshold is simply met by other units or not at all.
+	abandoned []bool // per unit
+	// decoded marks systematic units whose output was produced by the
+	// barrier decode instead of a real attempt.
+	decoded []bool // per systematic unit
+	decodes int    // groups decoded
+}
+
+// Name implements straggle.Mitigator.
+func (c *codedState) Name() string { return string(straggle.ModeCoded) }
+
+// Stats implements straggle.Mitigator.
+func (c *codedState) Stats() straggle.Stats {
+	return straggle.Stats{Launches: c.layout.ParityUnits(), Wins: c.decodes}
+}
+
+// buildCoded rewrites the task list for coded execution: groups of
+// mit.GroupSize consecutive tasks each gain ceil(k/Rate)−k parity units.
+// A parity unit models a pre-computed coded block (created at ingest
+// alongside the data, like an erasure-coded storage tier): its size and
+// scheduling weight are the group's maxima, and its replicas are spread
+// deterministically across the cluster away from any single rack hot
+// spot. Returns the state plus the extended task and truth slices
+// (parity truth entries are indexed by the parity task's Index).
+func buildCoded(mit straggle.Config, cfg Config, numBlocks int, tasks []sched.Task, truth []int64, topo *cluster.Topology) (*codedState, []sched.Task, []int64) {
+	layout := straggle.NewLayout(len(tasks), mit.GroupSize, mit.Rate)
+	c := &codedState{
+		layout:     layout,
+		decodeCost: mit.DecodeCostFactor,
+		need:       make([]int, len(layout.Groups)),
+		live:       make([]int, len(layout.Groups)),
+		satisfied:  make([]bool, len(layout.Groups)),
+		satAt:      make([]float64, len(layout.Groups)),
+		satNode:    make([]cluster.NodeID, len(layout.Groups)),
+		abandoned:  make([]bool, layout.Total()),
+		decoded:    make([]bool, layout.Sys),
+	}
+	ids := topo.IDs()
+	ordinal := 0
+	for gi, g := range layout.Groups {
+		c.need[gi] = g.K
+		var maxW, maxB int64
+		repl := 1
+		for u := g.SysStart; u < g.SysStart+g.K; u++ {
+			if tasks[u].Weight > maxW {
+				maxW = tasks[u].Weight
+			}
+			if tasks[u].Bytes > maxB {
+				maxB = tasks[u].Bytes
+			}
+			if len(tasks[u].Locations) > repl {
+				repl = len(tasks[u].Locations)
+			}
+		}
+		if repl > len(ids) {
+			repl = len(ids)
+		}
+		for j := 0; j < g.Par; j++ {
+			locs := make([]cluster.NodeID, repl)
+			base := (gi*7 + j*3) % len(ids)
+			for i := range locs {
+				locs[i] = ids[(base+i)%len(ids)]
+			}
+			tasks = append(tasks, sched.Task{
+				Block:     parityBlockBase + hdfs.BlockID(ordinal),
+				Index:     numBlocks + ordinal,
+				Weight:    maxW,
+				Bytes:     maxB,
+				Locations: locs,
+			})
+			ordinal++
+		}
+	}
+	// Parity truth: the coded fragment's matched volume is the group's
+	// worst case — an MDS combination is as large as the largest input.
+	parityTruth := make([]int64, ordinal)
+	for _, g := range layout.Groups {
+		var maxT int64
+		for u := g.SysStart; u < g.SysStart+g.K; u++ {
+			if t := truth[tasks[u].Index]; t > maxT {
+				maxT = t
+			}
+		}
+		for j := 0; j < g.Par; j++ {
+			parityTruth[tasks[g.ParStart+j].Index-numBlocks] = maxT
+		}
+	}
+	truth = append(append([]int64(nil), truth...), parityTruth...)
+	return c, tasks, truth
+}
+
+// isParity reports whether the unit is a parity unit (false when coded
+// mode is off).
+func (s *filterSim) isParity(li int) bool {
+	return s.coded != nil && s.coded.layout.IsParity(li)
+}
+
+// groupObsolete reports whether the unit's group is already satisfied,
+// making further attempts of the unit redundant.
+func (s *filterSim) groupObsolete(li int) bool {
+	return s.coded != nil && !s.done[li] && s.coded.satisfied[s.coded.layout.GroupOf(li)]
+}
+
+// codedCommit is the commit hook: the unit's group gains one live
+// completion; the k-th completion satisfies the group, kills its
+// remaining in-flight attempts and records the satisfaction instant the
+// barrier decode will anchor to.
+func (s *filterSim) codedCommit(id cluster.NodeID, r *runAttempt) {
+	c := s.coded
+	g := c.layout.GroupOf(r.li)
+	c.live[g]++
+	if c.satisfied[g] || c.live[g] < c.need[g] {
+		return
+	}
+	c.satisfied[g] = true
+	c.satCount++
+	c.satAt[g] = r.end
+	c.satNode[g] = id
+	s.killGroup(g, r.end)
+}
+
+// codedUncommit is the crash-uncommit hook: a destroyed unit output
+// drops the group's live count; falling below k re-opens the group and
+// revives whatever units can still run, so the phase cannot wedge on
+// work that was dropped while the group looked complete.
+func (s *filterSim) codedUncommit(li int, t float64) {
+	c := s.coded
+	g := c.layout.GroupOf(li)
+	c.live[g]--
+	if !c.satisfied[g] || c.live[g] >= c.need[g] {
+		return
+	}
+	c.satisfied[g] = false
+	c.satCount--
+	s.reviveGroup(g, t)
+}
+
+// reviveGroup requeues every unit of the group that is neither done,
+// running, queued nor abandoned. When the group was satisfied, its
+// unfinished units were killed or dropped; after an un-commit those are
+// the only spare redundancy the group has left.
+func (s *filterSim) reviveGroup(g int, t float64) {
+	grp := s.coded.layout.Groups[g]
+	units := make([]int, 0, grp.N())
+	for u := grp.SysStart; u < grp.SysStart+grp.K; u++ {
+		units = append(units, u)
+	}
+	for u := grp.ParStart; u < grp.ParStart+grp.Par; u++ {
+		units = append(units, u)
+	}
+	active := make(map[int]bool)
+	for _, r := range s.running {
+		active[r.li] = true
+	}
+	for _, it := range s.retries {
+		active[it.li] = true
+	}
+	for _, u := range units {
+		if s.done[u] || s.coded.abandoned[u] || active[u] {
+			continue
+		}
+		if s.attempts[u] >= s.retry.MaxAttempts || s.replicasGone(u) {
+			if s.isParity(u) {
+				s.coded.abandoned[u] = true
+			}
+			continue
+		}
+		s.postRetry(retryItem{readyAt: t, li: u})
+	}
+}
+
+// killGroup kills the group's in-flight attempts once it is satisfied:
+// their completions are orphaned (generation bump), the slots free
+// immediately, and the burned time is charged to wasted work — exactly
+// the cost the makespan win is bought with.
+func (s *filterSim) killGroup(g int, now float64) {
+	keys := sortedRunningKeys(s.running)
+	for _, k := range keys {
+		r := s.running[k]
+		if s.coded.layout.GroupOf(r.li) != g || s.done[r.li] {
+			continue
+		}
+		r.ev.Hide()
+		delete(s.running, k)
+		s.gens[k]++
+		s.res.WastedTaskSeconds += now - r.start
+		s.res.NodeBusy[k.node] += now - r.start
+		if s.rec.Enabled() {
+			s.rec.Record(trace.Event{T: r.start, Type: trace.EvTaskKilled,
+				Node: int(k.node), Block: int(r.task.Block), Attempt: r.attempt,
+				Dur: now - r.start, Local: r.local, Detail: "coded-k-of-n"})
+			s.assigned[k.node] -= r.task.Weight
+		}
+		s.postSlotFree(now, k.node, k.slot, s.gens[k])
+	}
+}
+
+// codedDecode runs the barrier decode pass after the kernel settles: for
+// every group with missing systematic fragments, the node that completed
+// the group fetches the surviving fragments and reconstructs the missing
+// ones, extending the filter barrier by the decode span. The
+// reconstructed fragments then live on the decode node like any other
+// filter output (the analysis phase processes them there; a later crash
+// of that node loses them like any other fragment).
+func (s *filterSim) codedDecode() {
+	if s.coded == nil {
+		return
+	}
+	c := s.coded
+	for gi, g := range c.layout.Groups {
+		var missing []int
+		for u := g.SysStart; u < g.SysStart+g.K; u++ {
+			if !s.done[u] {
+				missing = append(missing, u)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		id := c.satNode[gi]
+		node := s.topo.Node(id)
+		start := c.satAt[gi]
+		var missingBytes int64
+		for _, u := range missing {
+			missingBytes += s.truth[s.tasks[u].Index]
+		}
+		dur := s.cfg.TaskOverhead +
+			float64(missingBytes)/s.inj.NetRate(id, node.NetRate) +
+			float64(missingBytes)*c.decodeCost/s.inj.CPURate(id, node.CPURate)
+		end := start + dur
+		for _, u := range missing {
+			matched := s.truth[s.tasks[u].Index]
+			s.res.Tasks = append(s.res.Tasks, TaskStat{
+				Task: s.tasks[u], Node: id, Start: start, End: end,
+				Compute: dur, Matched: matched, Local: false,
+				Attempt: s.attempts[u],
+			})
+			s.trackStat[u] = len(s.res.Tasks) - 1
+			s.res.NodeWorkload[id] += matched
+			s.nodeTasks[id]++
+			s.done[u] = true
+			s.doneCount++
+			c.decoded[u] = true
+			s.byNode[id] = append(s.byNode[id], &runAttempt{
+				li: u, task: s.tasks[u], start: start, end: end,
+				matched: matched, attempt: s.attempts[u],
+			})
+		}
+		s.res.NodeBusy[id] += dur
+		if end > s.res.FilterEnd {
+			s.res.FilterEnd = end
+		}
+		c.decodes++
+		s.res.CodedDecodes++
+		s.res.CodedDecodedBytes += missingBytes
+		if s.rec.Enabled() {
+			s.rec.Record(trace.Event{T: start, Type: trace.EvCodeDecode,
+				Node: int(id), Block: -1, Dur: dur, Bytes: missingBytes,
+				Count: len(missing), Detail: fmt.Sprintf("group %d: %d of %d fragments rebuilt", gi, len(missing), g.K)})
+		}
+	}
+}
+
+// codedUnfinished counts systematic units with no surviving output after
+// the decode pass (the coded-mode failure condition; parity units are
+// never required).
+func (s *filterSim) codedUnfinished() int {
+	n := 0
+	for u := 0; u < s.coded.layout.Sys; u++ {
+		if !s.done[u] {
+			n++
+		}
+	}
+	return n
+}
+
+// codedReplay produces the exactly-once application output for a coded
+// run: fragments that completed normally replay their block; fragments
+// the simulation decoded are reconstructed here with the real
+// Reed–Solomon arithmetic — encode the group's fragments, erase the
+// ones the simulation lost, reconstruct from the k survivors, and feed
+// the decoded records to the collector. A decode bug therefore shows up
+// as an output mismatch against the uncoded run, not as a silently
+// correct simulation.
+func (s *filterSim) codedReplay(blocks []*hdfs.Block, coll *collector) error {
+	c := s.coded
+	for gi, g := range c.layout.Groups {
+		decodeAny := false
+		for u := g.SysStart; u < g.SysStart+g.K; u++ {
+			if c.decoded[u] {
+				decodeAny = true
+				break
+			}
+		}
+		if !decodeAny {
+			for u := g.SysStart; u < g.SysStart+g.K; u++ {
+				coll.runMap(blocks[s.tasks[u].Index], s.cfg)
+			}
+			continue
+		}
+		// Systematic fragments as byte shards (the filter output each unit
+		// would have produced), padded to the group's max shard size.
+		frags := make([][]byte, g.K)
+		maxLen := 0
+		for i := 0; i < g.K; i++ {
+			frags[i] = encodeFragment(blocks[s.tasks[g.SysStart+i].Index], s.cfg)
+			if len(frags[i]) > maxLen {
+				maxLen = len(frags[i])
+			}
+		}
+		shardLen := maxLen + 4
+		data := make([][]byte, g.K)
+		for i, f := range frags {
+			sh := make([]byte, shardLen)
+			binary.BigEndian.PutUint32(sh[:4], uint32(len(f)))
+			copy(sh[4:], f)
+			data[i] = sh
+		}
+		code, err := straggle.NewCode(g.K, g.N())
+		if err != nil {
+			return fmt.Errorf("mapreduce: coded group %d: %w", gi, err)
+		}
+		parity, err := code.ParityShards(data)
+		if err != nil {
+			return fmt.Errorf("mapreduce: coded group %d: %w", gi, err)
+		}
+		// Erase everything the simulation did not complete; keep only the
+		// units whose output physically survived.
+		shards := make([][]byte, g.N())
+		for i := 0; i < g.K; i++ {
+			u := g.SysStart + i
+			if s.done[u] && !c.decoded[u] {
+				shards[i] = append([]byte(nil), data[i]...)
+			}
+		}
+		for j := 0; j < g.Par; j++ {
+			if s.done[g.ParStart+j] {
+				shards[g.K+j] = append([]byte(nil), parity[j]...)
+			}
+		}
+		if err := code.Reconstruct(shards); err != nil {
+			return fmt.Errorf("mapreduce: coded group %d decode: %w", gi, err)
+		}
+		for i := 0; i < g.K; i++ {
+			u := g.SysStart + i
+			if !c.decoded[u] {
+				coll.runMap(blocks[s.tasks[u].Index], s.cfg)
+				continue
+			}
+			recs, err := decodeFragment(shards[i])
+			if err != nil {
+				return fmt.Errorf("mapreduce: coded group %d unit %d: %w", gi, u, err)
+			}
+			coll.runRecords(recs, s.cfg)
+		}
+	}
+	return nil
+}
+
+// encodeFragment serializes one block's filtered records exactly (full
+// float bits, no quantization): the byte stream a filter unit stores
+// locally and the erasure code protects.
+func encodeFragment(b *hdfs.Block, cfg Config) []byte {
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	for _, r := range b.Records {
+		if cfg.TargetSub != "" && r.Sub != cfg.TargetSub {
+			continue
+		}
+		putUvarint(uint64(len(r.Sub)))
+		buf.WriteString(r.Sub)
+		n := binary.PutVarint(scratch[:], r.Time)
+		buf.Write(scratch[:n])
+		var fb [8]byte
+		binary.BigEndian.PutUint64(fb[:], math.Float64bits(r.Rating))
+		buf.Write(fb[:])
+		putUvarint(uint64(len(r.Payload)))
+		buf.WriteString(r.Payload)
+	}
+	return buf.Bytes()
+}
+
+// decodeFragment parses a reconstructed shard (4-byte length prefix plus
+// the fragment, zero-padded) back into records.
+func decodeFragment(shard []byte) ([]records.Record, error) {
+	if len(shard) < 4 {
+		return nil, fmt.Errorf("mapreduce: fragment shard too short (%d bytes)", len(shard))
+	}
+	n := binary.BigEndian.Uint32(shard[:4])
+	if int(n) > len(shard)-4 {
+		return nil, fmt.Errorf("mapreduce: fragment length %d exceeds shard", n)
+	}
+	data := shard[4 : 4+n]
+	var out []records.Record
+	for len(data) > 0 {
+		var r records.Record
+		subLen, k := binary.Uvarint(data)
+		if k <= 0 || int(subLen) > len(data)-k {
+			return nil, fmt.Errorf("mapreduce: corrupt fragment (sub length)")
+		}
+		data = data[k:]
+		r.Sub = string(data[:subLen])
+		data = data[subLen:]
+		t, k2 := binary.Varint(data)
+		if k2 <= 0 {
+			return nil, fmt.Errorf("mapreduce: corrupt fragment (time)")
+		}
+		r.Time = t
+		data = data[k2:]
+		if len(data) < 8 {
+			return nil, fmt.Errorf("mapreduce: corrupt fragment (rating)")
+		}
+		r.Rating = math.Float64frombits(binary.BigEndian.Uint64(data[:8]))
+		data = data[8:]
+		payLen, k3 := binary.Uvarint(data)
+		if k3 <= 0 || int(payLen) > len(data)-k3 {
+			return nil, fmt.Errorf("mapreduce: corrupt fragment (payload length)")
+		}
+		data = data[k3:]
+		r.Payload = string(data[:payLen])
+		data = data[payLen:]
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -38,6 +38,7 @@ import (
 	"datanet/internal/records"
 	"datanet/internal/sched"
 	"datanet/internal/sim"
+	"datanet/internal/straggle"
 	"datanet/internal/trace"
 )
 
@@ -80,6 +81,12 @@ type Config struct {
 	// (reading the data remotely); the earlier completion wins. This is
 	// the paper's other reactive comparator family (runtime monitoring).
 	Speculative bool
+	// Mitigate, when enabled, turns on the straggler-mitigation layer for
+	// the filter phase: quantile-triggered speculative backups
+	// (straggle.ModeSpeculative) or coded k-of-n redundant execution
+	// (straggle.ModeCoded). Nil or off leaves every schedule
+	// byte-identical to the unmitigated engine. See internal/straggle.
+	Mitigate *straggle.Config
 	// FilterCostFactor scales CPU time per matched byte during the filter
 	// phase (default 0.2: predicate evaluation plus local write).
 	FilterCostFactor float64
@@ -203,9 +210,25 @@ type Result struct {
 	// when Config.RebalanceAfterFilter is set.
 	MigratedBytes int64
 	MigrationTime float64
-	// SpeculativeWins counts straggler analyses beaten by a backup attempt
-	// when Config.Speculative is set.
+	// SpeculativeWins counts straggler attempts beaten by a backup: barrier
+	// -trigger analysis backups when Config.Speculative is set, plus
+	// quantile-trigger filter backups under straggle.ModeSpeculative.
 	SpeculativeWins int
+	// SpeculativeLaunches counts quantile-trigger backups launched
+	// (straggle.ModeSpeculative; bounded by the per-task and per-job
+	// speculation budgets — the work-amplification invariant).
+	SpeculativeLaunches int
+	// WastedTaskSeconds is slot time burned on attempts that were killed
+	// redundant: duplicate completions, phase-end kills and coded-group
+	// kills. WastedBytes is the matched bytes those completed-but-redundant
+	// attempts produced.
+	WastedTaskSeconds float64
+	WastedBytes       int64
+	// CodedGroups and CodedParityUnits describe the coded layout when
+	// straggle.ModeCoded is set; CodedDecodes counts groups whose missing
+	// fragments were reconstructed, CodedDecodedBytes the bytes rebuilt.
+	CodedGroups, CodedParityUnits, CodedDecodes int
+	CodedDecodedBytes                           int64
 	// Output is the reduced job output when Config.ExecuteApp is set.
 	Output map[string]string
 	// SchedulerName echoes the picker used.
@@ -288,6 +311,24 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.CrossRackPenalty < 1 {
 		cfg.CrossRackPenalty = 2
+	}
+	// Straggler mitigation is strictly opt-in; normalize and validate the
+	// knobs once here so the filter phase only sees defaulted values. The
+	// check cadence and minimum-gain default scale with the task overhead:
+	// speculating on an attempt that would finish within a couple of task
+	// setups cannot win.
+	var mit straggle.Config
+	if cfg.Mitigate.Enabled() {
+		mit = cfg.Mitigate.WithDefaults()
+		if mit.CheckInterval == 0 {
+			mit.CheckInterval = 2 * cfg.TaskOverhead
+		}
+		if mit.MinGain == 0 {
+			mit.MinGain = 2 * cfg.TaskOverhead
+		}
+		if err := mit.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	rec := cfg.Trace
 	if rec.Enabled() {
@@ -374,6 +415,21 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// Coded k-of-n execution rewrites the task list before scheduling:
+	// every group of k consecutive tasks gains parity units (redundant
+	// coded blocks pre-placed across the cluster), and the phase barrier
+	// becomes "any k completions per group" instead of "every task".
+	var coded *codedState
+	if mit.Mode == straggle.ModeCoded {
+		coded, tasks, truth = buildCoded(mit, cfg, len(blocks), tasks, truth, topo)
+		res.CodedGroups = len(coded.layout.Groups)
+		res.CodedParityUnits = coded.layout.ParityUnits()
+	}
+	var spec *straggle.SpecEngine
+	if mit.Mode == straggle.ModeSpeculative {
+		spec = straggle.NewSpecEngine(mit, len(tasks))
+	}
+
 	picker := factory(tasks, topo)
 	res.SchedulerName = picker.Name()
 
@@ -391,7 +447,7 @@ func Run(cfg Config) (*Result, error) {
 		res:    res,
 		blocks: blocks,
 		tasks:  tasks,
-		fsim:   newFilterSim(cfg, topo, inj, retry, tasks, truth, picker, res, det),
+		fsim:   newFilterSim(cfg, topo, inj, retry, tasks, truth, picker, res, det, spec, coded),
 		coll:   newCollector(cfg),
 	}
 	if err := runPipeline(jc); err != nil {
@@ -432,6 +488,16 @@ func (c *collector) runMap(b *hdfs.Block, cfg Config) {
 		if cfg.TargetSub != "" && r.Sub != cfg.TargetSub {
 			continue
 		}
+		cfg.App.Map(r, emit)
+	}
+}
+
+// runRecords feeds already-filtered records (a reconstructed coded
+// fragment) through the application map — the fragment was filtered when
+// it was encoded, so no predicate is re-applied.
+func (c *collector) runRecords(recs []records.Record, cfg Config) {
+	emit := func(k, v string) { c.groups[k] = append(c.groups[k], v) }
+	for _, r := range recs {
 		cfg.App.Map(r, emit)
 	}
 }

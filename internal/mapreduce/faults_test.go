@@ -14,6 +14,7 @@ import (
 	"datanet/internal/hdfs"
 	"datanet/internal/records"
 	"datanet/internal/sched"
+	"datanet/internal/straggle"
 )
 
 // faultEnv builds a 16-node, 2-rack cluster with enough blocks that every
@@ -467,13 +468,13 @@ func TestSpeculateDegenerateGuards(t *testing.T) {
 	topo4 := cluster.MustHomogeneous(4, 1)
 	dur := map[cluster.NodeID]float64{0: 0, 1: 0, 2: 0, 3: 0}
 	wl := map[cluster.NodeID]int64{}
-	if w := speculate(topo4, nil, wl, dur, cfg, inert, nil, 0); w != 0 {
+	if w := straggle.BarrierSpeculate(topo4, nil, wl, dur, cfg.TaskOverhead, cfg.App.CostFactor(), inert, nil, 0); w != 0 {
 		t.Errorf("no live nodes: wins = %d", w)
 	}
-	if w := speculate(topo4, []cluster.NodeID{2}, wl, dur, cfg, inert, nil, 0); w != 0 {
+	if w := straggle.BarrierSpeculate(topo4, []cluster.NodeID{2}, wl, dur, cfg.TaskOverhead, cfg.App.CostFactor(), inert, nil, 0); w != 0 {
 		t.Errorf("one live node: wins = %d", w)
 	}
-	if w := speculate(topo4, topo4.IDs(), wl, dur, cfg, inert, nil, 0); w != 0 {
+	if w := straggle.BarrierSpeculate(topo4, topo4.IDs(), wl, dur, cfg.TaskOverhead, cfg.App.CostFactor(), inert, nil, 0); w != 0 {
 		t.Errorf("all-zero durations: wins = %d", w)
 	}
 }

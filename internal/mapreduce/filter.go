@@ -11,6 +11,7 @@ import (
 	"datanet/internal/hdfs"
 	"datanet/internal/sched"
 	"datanet/internal/sim"
+	"datanet/internal/straggle"
 	"datanet/internal/trace"
 )
 
@@ -51,6 +52,12 @@ const (
 	// K1 = node). Ordered after beats: a beat arriving exactly at the
 	// timeout instant clears the node first.
 	evDetTimeout
+	// evSpecCheck is one quantile-speculation scan instant
+	// (straggle.ModeSpeculative): the master projects every running
+	// attempt's finish and launches budgeted backups for the stragglers.
+	// The chain reposts itself every straggle.Config.CheckInterval until
+	// the phase completes.
+	evSpecCheck
 )
 
 // Typed failure errors.
@@ -94,6 +101,9 @@ type runAttempt struct {
 	failed     bool // transient read error: the attempt burns its slot time and retries
 	voided     bool // killed by a crash before completion
 	dup        bool // speculative duplicate of an attempt believed lost
+	// quant marks a duplicate launched by the quantile trigger (its win is
+	// a SpeculativeWin; a suspicion-triggered dup's win is not).
+	quant bool
 	// gen guards against stale completions: a crash resets the slot and
 	// bumps its generation, orphaning whatever was still queued for it.
 	gen int
@@ -114,6 +124,11 @@ type retryItem struct {
 	// dup marks a speculative duplicate (the original attempt may still be
 	// running on a suspected node); its failure never burns a real retry.
 	dup bool
+	// quant marks a quantile-trigger backup; avoid is then the node the
+	// straggling original runs on (the backup must land elsewhere —
+	// launching it beside the straggler gains nothing).
+	quant bool
+	avoid cluster.NodeID
 	// ev is the queued retry-ready marker, hidden once the retry is taken
 	// so the kernel horizon reflects only work that can still appear.
 	ev *sim.Event
@@ -179,8 +194,20 @@ type filterSim struct {
 	// dupOutstanding caps speculative duplicates at one per task.
 	dupOutstanding []bool
 	// lastDup carries the acquire path's duplicate flag to dispatch,
-	// exactly like lastRule carries the decision rule.
-	lastDup bool
+	// exactly like lastRule carries the decision rule; lastQuant
+	// additionally marks quantile-trigger backups.
+	lastDup   bool
+	lastQuant bool
+
+	// Straggler mitigation (both nil with mitigation off — the
+	// byte-identical historical path; the modes are mutually exclusive).
+	// spec is the quantile-trigger speculation engine: a periodic
+	// evSpecCheck scan projects running attempts and launches budgeted
+	// backups through the same duplicate machinery the suspicion trigger
+	// uses. coded is the k-of-n execution state: the task list carries
+	// parity units and each group needs only k completions (see coded.go).
+	spec  *straggle.SpecEngine
+	coded *codedState
 	// wakeKinds is the parked-slot horizon: the event kinds that can create
 	// new work (detector modes add beats and timeouts, whose responses may
 	// requeue tasks).
@@ -200,7 +227,7 @@ type filterSim struct {
 
 const maxIdleRetries = 1 << 20
 
-func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retry faults.RetryPolicy, tasks []sched.Task, truth []int64, picker sched.Picker, res *Result, det *detect.Detector) *filterSim {
+func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retry faults.RetryPolicy, tasks []sched.Task, truth []int64, picker sched.Picker, res *Result, det *detect.Detector, spec *straggle.SpecEngine, coded *codedState) *filterSim {
 	s := &filterSim{
 		cfg:       cfg,
 		topo:      topo,
@@ -211,6 +238,8 @@ func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retr
 		picker:    picker,
 		res:       res,
 		det:       det,
+		spec:      spec,
+		coded:     coded,
 		kern:      sim.New(nil),
 		gens:      make(map[slotKey]int),
 		running:   make(map[slotKey]*runAttempt),
@@ -228,8 +257,15 @@ func newFilterSim(cfg Config, topo *cluster.Topology, inj *faults.Injector, retr
 		s.pendingResp = make(map[cluster.NodeID]float64)
 		s.pendingVoided = make(map[cluster.NodeID][]int)
 		s.slotsDown = make(map[cluster.NodeID]bool)
-		s.dupOutstanding = make([]bool, len(tasks))
 		s.wakeKinds = append(s.wakeKinds, evBeat, evDetTimeout)
+	}
+	if det != nil || spec != nil {
+		s.dupOutstanding = make([]bool, len(tasks))
+	}
+	if spec != nil {
+		// Spec-check instants can create retries, so parked slots must wake
+		// for them.
+		s.wakeKinds = append(s.wakeKinds, evSpecCheck)
 	}
 	for li, t := range tasks {
 		s.byIndex[t.Index] = li
@@ -266,6 +302,62 @@ func (s *filterSim) slotHandler(inner sim.Handler) sim.Handler {
 	}
 }
 
+// phaseComplete reports whether the filter barrier has been reached:
+// every task done, or — coded mode — every group satisfied by k unit
+// completions (the decode pass supplies whatever is missing).
+func (s *filterSim) phaseComplete() bool {
+	if s.coded != nil {
+		return s.coded.satCount == len(s.coded.layout.Groups)
+	}
+	return s.doneCount >= len(s.tasks)
+}
+
+// replicasGone reports that no replica of the unit's block survives.
+// Parity units carry static synthetic placements the name-node does not
+// track, so they never report data lost (they are abandoned instead).
+func (s *filterSim) replicasGone(li int) bool {
+	return s.layoutDirty && !s.isParity(li) && len(s.cfg.FS.Locations(s.tasks[li].Block)) == 0
+}
+
+// sortedRunningKeys returns the running-attempt keys in deterministic
+// (node, slot) order for iteration.
+func sortedRunningKeys(running map[slotKey]*runAttempt) []slotKey {
+	keys := make([]slotKey, 0, len(running))
+	for k := range running {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].slot < keys[j].slot
+	})
+	return keys
+}
+
+// postRetry queues one retry item and its kernel maturity marker, keeping
+// the queue sorted by (readyAt, li).
+func (s *filterSim) postRetry(it retryItem) {
+	it.ev = s.kern.Post(sim.Event{At: it.readyAt, Kind: evRetryReady, Prio: 1, K1: int64(it.li)})
+	s.retries = append(s.retries, it)
+	sort.Slice(s.retries, func(a, b int) bool {
+		if s.retries[a].readyAt != s.retries[b].readyAt {
+			return s.retries[a].readyAt < s.retries[b].readyAt
+		}
+		return s.retries[a].li < s.retries[b].li
+	})
+}
+
+// noteWasted charges one redundant completed attempt to the wasted-work
+// counters (mitigation modes only — the historical paths stay untouched).
+func (s *filterSim) noteWasted(seconds float64, bytes int64) {
+	if s.spec == nil && s.coded == nil {
+		return
+	}
+	s.res.WastedTaskSeconds += seconds
+	s.res.WastedBytes += bytes
+}
+
 // run executes the event loop until every filter task has a surviving
 // output or the job fails with a typed error.
 func (s *filterSim) run() error {
@@ -278,6 +370,10 @@ func (s *filterSim) run() error {
 	if s.det != nil {
 		s.det.SetHooks(detect.Hooks{Beat: s.onDetBeat, Suspect: s.onSuspect, Clear: s.onClear})
 		s.det.Bind(s.kern, evBeat, evDetTimeout, 2)
+	}
+	if s.spec != nil {
+		s.kern.Handle(evSpecCheck, s.onSpecCheck)
+		s.postSpecCheck(s.spec.Interval())
 	}
 	for _, id := range s.topo.IDs() {
 		for slot := 0; slot < s.topo.Node(id).Slots; slot++ {
@@ -300,7 +396,7 @@ func (s *filterSim) run() error {
 			// response is still outstanding (the master has not discovered
 			// the destroyed outputs yet). Resume until belief catches up
 			// with truth, the phase is wedged, or the queue drains.
-			if s.doneCount >= len(s.tasks) && len(s.pendingResp) == 0 {
+			if s.phaseComplete() && len(s.pendingResp) == 0 {
 				break
 			}
 			if s.slotLive == 0 && len(s.pendingResp) == 0 && !s.anyRevivable() {
@@ -312,6 +408,13 @@ func (s *filterSim) run() error {
 		}
 	}
 	s.killDuplicates()
+	if s.coded != nil {
+		if n := len(s.coded.layout.Groups) - s.coded.satCount; n > 0 {
+			return fmt.Errorf("%w: %d coded groups unsatisfied", ErrNoLiveNodes, n)
+		}
+		s.codedDecode()
+		return nil
+	}
 	if s.doneCount < len(s.tasks) {
 		return fmt.Errorf("%w: %d filter tasks unfinished", ErrNoLiveNodes, len(s.tasks)-s.doneCount)
 	}
@@ -326,7 +429,7 @@ func (s *filterSim) maybeSettle() {
 	if s.det == nil {
 		return
 	}
-	if s.doneCount >= len(s.tasks) && len(s.pendingResp) == 0 {
+	if s.phaseComplete() && len(s.pendingResp) == 0 {
 		s.kern.Stop()
 		return
 	}
@@ -359,27 +462,26 @@ func (s *filterSim) anyRevivable() bool {
 // attempts at the phase barrier (speculation-style), so they neither
 // extend the makespan nor double-count work.
 func (s *filterSim) killDuplicates() {
-	if s.det == nil || len(s.running) == 0 {
+	if (s.det == nil && s.spec == nil && s.coded == nil) || len(s.running) == 0 {
 		return
 	}
-	keys := make([]slotKey, 0, len(s.running))
-	for k := range s.running {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].node != keys[j].node {
-			return keys[i].node < keys[j].node
-		}
-		return keys[i].slot < keys[j].slot
-	})
-	for _, k := range keys {
+	for _, k := range sortedRunningKeys(s.running) {
 		r := s.running[k]
-		if !s.done[r.li] {
+		if !s.done[r.li] && !s.groupObsolete(r.li) {
 			continue
 		}
 		r.ev.Hide()
 		delete(s.running, k)
 		s.res.DuplicateKills++
+		// The attempt burned its slot from start until the barrier cut it
+		// off (or until its own end, if earlier).
+		cut := s.res.FilterEnd
+		if r.end < cut {
+			cut = r.end
+		}
+		if cut > r.start {
+			s.noteWasted(cut-r.start, 0)
+		}
 		if s.rec.Enabled() {
 			s.rec.Record(trace.Event{T: r.start, Type: trace.EvTaskKilled,
 				Node: int(k.node), Block: int(r.task.Block), Attempt: r.attempt,
@@ -418,6 +520,8 @@ func translateKernelEvent(e *sim.Event) (trace.Event, bool) {
 	case evDetTimeout:
 		ev.Detail = "heartbeat-timeout"
 		ev.Node = int(e.K1)
+	case evSpecCheck:
+		ev.Detail = "spec-check"
 	default:
 		return trace.Event{}, false
 	}
@@ -438,10 +542,10 @@ func (s *filterSim) postSlotFree(at float64, node cluster.NodeID, slot, gen int)
 // here and defer the response to the failure detector.
 func (s *filterSim) onCrash(ev *sim.Event) error {
 	if s.det == nil {
-		if s.doneCount >= len(s.tasks) || s.slotLive == 0 {
+		if s.phaseComplete() || s.slotLive == 0 {
 			return nil
 		}
-	} else if s.doneCount >= len(s.tasks) && len(s.pendingResp) == 0 {
+	} else if s.phaseComplete() && len(s.pendingResp) == 0 {
 		// The barrier looks passed and no response can re-open it.
 		return nil
 	}
@@ -570,11 +674,16 @@ func (s *filterSim) respond(d cluster.NodeID, t float64) error {
 			s.res.Tasks[s.trackStat[r.li]].Lost = true
 			s.trackStat[r.li] = -1
 		}
-		s.res.NodeWorkload[d] -= r.matched
-		s.nodeTasks[d]--
+		if !s.isParity(r.li) {
+			s.res.NodeWorkload[d] -= r.matched
+			s.nodeTasks[d]--
+		}
 		if s.done[r.li] {
 			s.done[r.li] = false
 			s.doneCount--
+			if s.coded != nil {
+				s.codedUncommit(r.li, t)
+			}
 		}
 		s.res.LostOutputs++
 		if s.rec.Enabled() {
@@ -590,9 +699,10 @@ func (s *filterSim) respond(d cluster.NodeID, t float64) error {
 	}
 	s.byNode[d] = nil
 	// Blocks with no surviving replica are gone for good unless their
-	// filter output survives on a live node.
+	// filter output survives on a live node — or, coded mode, the block's
+	// group is satisfied (its fragment is reconstructable from the code).
 	for _, b := range lost {
-		if li, ok := s.byBlock[b]; ok && !s.done[li] {
+		if li, ok := s.byBlock[b]; ok && !s.done[li] && !s.groupObsolete(li) {
 			return &BlockFailure{Block: b, Attempts: s.attempts[li], Cause: ErrDataLost}
 		}
 	}
@@ -673,10 +783,16 @@ func (s *filterSim) requeueDup(li int, t float64) {
 	if s.attempts[li] >= s.retry.MaxAttempts {
 		return
 	}
-	if s.layoutDirty && len(s.cfg.FS.Locations(s.tasks[li].Block)) == 0 {
+	if s.layoutDirty && !s.isParity(li) && len(s.cfg.FS.Locations(s.tasks[li].Block)) == 0 {
 		return
 	}
 	s.dupOutstanding[li] = true
+	if s.spec != nil {
+		// Suspicion launches flow through the shared engine's accounting
+		// (no quantile budget burned — the one-dup-per-task rule above is
+		// this trigger's own cap).
+		s.spec.NoteLaunch(straggle.TriggerSuspicion, li)
+	}
 	s.res.TasksRetried++
 	if s.rec.Enabled() {
 		ev := trace.At(t, trace.EvTaskRetry)
@@ -685,15 +801,77 @@ func (s *filterSim) requeueDup(li int, t float64) {
 		ev.Detail = "suspect-duplicate"
 		s.rec.Record(ev)
 	}
-	it := retryItem{readyAt: t + s.retry.Delay(s.attempts[li]), li: li, dup: true}
-	it.ev = s.kern.Post(sim.Event{At: it.readyAt, Kind: evRetryReady, Prio: 1, K1: int64(li)})
-	s.retries = append(s.retries, it)
-	sort.Slice(s.retries, func(a, b int) bool {
-		if s.retries[a].readyAt != s.retries[b].readyAt {
-			return s.retries[a].readyAt < s.retries[b].readyAt
+	s.postRetry(retryItem{readyAt: t + s.retry.Delay(s.attempts[li]), li: li, dup: true})
+}
+
+// postSpecCheck queues the next quantile-speculation scan. Priority 3
+// orders the scan after slot activity, beats and timeouts at the same
+// instant, so it sees the freshest attempt state.
+func (s *filterSim) postSpecCheck(at float64) {
+	s.kern.Post(sim.Event{At: at, Kind: evSpecCheck, Prio: 3})
+}
+
+// onSpecCheck is one quantile-trigger scan: project every running
+// attempt's finish (the attempt's exact end — the limiting case of
+// perfect progress reports), ask the engine which are stragglers, and
+// launch budgeted backups. The chain reposts itself until the phase
+// completes or no slot can ever serve again.
+func (s *filterSim) onSpecCheck(ev *sim.Event) error {
+	if s.phaseComplete() || s.slotLive == 0 {
+		return nil // chain ends; nothing left to speculate for
+	}
+	now := ev.At
+	keys := sortedRunningKeys(s.running)
+	projs := make([]straggle.Projection, 0, len(keys))
+	for _, k := range keys {
+		r := s.running[k]
+		if s.done[r.li] || r.voided {
+			continue
 		}
-		return s.retries[a].li < s.retries[b].li
-	})
+		projs = append(projs, straggle.Projection{Unit: r.li, Projected: r.end})
+	}
+	for _, li := range s.spec.Decide(now, projs) {
+		s.launchQuantileDup(li, now)
+	}
+	s.postSpecCheck(now + s.spec.Interval())
+	return nil
+}
+
+// launchQuantileDup launches one quantile-trigger backup: a duplicate
+// retry, ready immediately (a straggler needs the backup now, not after
+// a failure backoff), that must land away from the straggling original.
+// Like the suspicion trigger it never fails the job — at the attempt
+// cap, with replicas gone, or over budget the master simply declines.
+func (s *filterSim) launchQuantileDup(li int, now float64) {
+	if s.done[li] || s.dupOutstanding[li] || !s.spec.Allow(li) {
+		return
+	}
+	if s.attempts[li] >= s.retry.MaxAttempts || s.replicasGone(li) {
+		return
+	}
+	// The backup avoids the node running the slowest current attempt of
+	// this task (deterministic scan order).
+	avoid := cluster.NodeID(-1)
+	worst := -1.0
+	for _, k := range sortedRunningKeys(s.running) {
+		r := s.running[k]
+		if r.li == li && r.end > worst {
+			worst = r.end
+			avoid = k.node
+		}
+	}
+	s.dupOutstanding[li] = true
+	s.spec.NoteLaunch(straggle.TriggerQuantile, li)
+	s.res.SpeculativeLaunches++
+	if s.rec.Enabled() {
+		ev := trace.At(now, trace.EvSpeculate)
+		ev.Block = int(s.tasks[li].Block)
+		ev.Node = int(avoid)
+		ev.Attempt = s.attempts[li]
+		ev.Detail = "quantile-trigger"
+		s.rec.Record(ev)
+	}
+	s.postRetry(retryItem{readyAt: now, li: li, dup: true, quant: true, avoid: avoid})
 }
 
 // onSlotFree serves one slot's work request unless the slot was reset by a
@@ -721,16 +899,31 @@ func (s *filterSim) onAttemptDone(ev *sim.Event) error {
 	if r.voided {
 		return nil
 	}
-	if s.det != nil && s.done[r.li] {
+	if (s.det != nil || s.spec != nil) && s.done[r.li] {
 		// Another attempt committed first; this one is redundant. The
 		// master kills it on arrival (speculation-style dedupe): its slot
 		// time was burned but the work is not double-counted.
 		s.res.DuplicateKills++
 		s.res.NodeBusy[node] += r.end - r.start
+		s.noteWasted(r.end-r.start, r.matched)
 		if s.rec.Enabled() {
 			s.rec.Record(trace.Event{T: r.start, Type: trace.EvTaskKilled,
 				Node: int(node), Block: int(r.task.Block), Attempt: r.attempt,
 				Dur: r.end - r.start, Local: r.local, Detail: "duplicate-completion"})
+			s.assigned[node] -= r.task.Weight
+		}
+		return s.serveSlot(node, slot, r.gen, now)
+	}
+	if s.groupObsolete(r.li) {
+		// Coded mode: the unit's group satisfied while this attempt ran
+		// (possible only in the same delivery instant as the k-th commit,
+		// before killGroup's generation bump — treat it identically).
+		s.res.NodeBusy[node] += r.end - r.start
+		s.noteWasted(r.end-r.start, r.matched)
+		if s.rec.Enabled() {
+			s.rec.Record(trace.Event{T: r.start, Type: trace.EvTaskKilled,
+				Node: int(node), Block: int(r.task.Block), Attempt: r.attempt,
+				Dur: r.end - r.start, Local: r.local, Detail: "coded-k-of-n"})
 			s.assigned[node] -= r.task.Weight
 		}
 		return s.serveSlot(node, slot, r.gen, now)
@@ -779,7 +972,7 @@ func (s *filterSim) serveSlot(node cluster.NodeID, slot, gen int, now float64) e
 		s.postSlotFree(now+s.det.Interval(), node, slot, gen)
 		return nil
 	}
-	if s.doneCount == len(s.tasks) && (s.det == nil || len(s.pendingResp) == 0) {
+	if s.phaseComplete() && (s.det == nil || len(s.pendingResp) == 0) {
 		return nil // filter phase complete: the slot retires
 	}
 	if t, li, ok := s.acquire(node, now); ok {
@@ -812,7 +1005,9 @@ func (s *filterSim) serveSlot(node cluster.NodeID, slot, gen int, now float64) e
 // locations returns the block's current replica holders, consulting the
 // name-node once re-replication has changed the layout.
 func (s *filterSim) locations(li int) []cluster.NodeID {
-	if s.layoutDirty {
+	if s.layoutDirty && !s.isParity(li) {
+		// Parity placements are static: the name-node does not track the
+		// synthetic coded blocks.
 		return s.cfg.FS.Locations(s.tasks[li].Block)
 	}
 	return s.tasks[li].Locations
@@ -823,18 +1018,27 @@ func (s *filterSim) locations(li int) []cluster.NodeID {
 // the scheduler's own plan, then any matured retry as a remote read.
 func (s *filterSim) acquire(node cluster.NodeID, now float64) (sched.Task, int, bool) {
 	s.lastDup = false
+	s.lastQuant = false
 	if li, ok := s.takeRetry(node, now, true); ok {
 		s.lastRule = "retry.local-replica"
 		return s.tasks[li], li, true
 	}
-	if t, ok := s.picker.Next(node); ok {
+	for {
+		t, ok := s.picker.Next(node)
+		if !ok {
+			break
+		}
+		li := s.byIndex[t.Index]
+		if s.groupObsolete(li) {
+			continue // coded: the unit's group is already satisfied
+		}
 		if s.rec.Enabled() {
 			s.lastRule = ""
 			if ex, ok := sched.Explain(s.picker); ok {
 				s.lastRule = ex.Rule
 			}
 		}
-		return t, s.byIndex[t.Index], true
+		return t, li, true
 	}
 	if li, ok := s.takeRetry(node, now, false); ok {
 		s.lastRule = "retry.remote"
@@ -852,13 +1056,17 @@ func (s *filterSim) takeRetry(node cluster.NodeID, now float64, localOnly bool) 
 		if it.readyAt > now {
 			break // sorted: nothing later is ready either
 		}
-		if s.done[it.li] {
-			// A duplicate won while this retry waited (detector modes);
-			// the task needs no further attempts. Drop the entry.
+		if s.done[it.li] || s.groupObsolete(it.li) {
+			// A duplicate won while this retry waited (detector modes), or
+			// — coded mode — the unit's group satisfied; the task needs no
+			// further attempts. Drop the entry.
 			it.ev.Hide()
 			s.retries = append(s.retries[:i], s.retries[i+1:]...)
 			i--
 			continue
+		}
+		if it.quant && it.avoid == node {
+			continue // a backup beside the straggler gains nothing
 		}
 		if localOnly {
 			local := false
@@ -875,6 +1083,7 @@ func (s *filterSim) takeRetry(node cluster.NodeID, now float64, localOnly bool) 
 		it.ev.Hide() // taken: its maturity no longer creates work
 		s.retries = append(s.retries[:i], s.retries[i+1:]...)
 		s.lastDup = it.dup
+		s.lastQuant = it.quant
 		return it.li, true
 	}
 	return 0, false
@@ -885,7 +1094,14 @@ func (s *filterSim) takeRetry(node cluster.NodeID, now float64, localOnly bool) 
 // reason qualifies the retry event ("read-error", "crash-voided",
 // "output-lost").
 func (s *filterSim) requeue(li int, now float64, reason string) error {
-	if s.layoutDirty && len(s.cfg.FS.Locations(s.tasks[li].Block)) == 0 {
+	if s.isParity(li) && s.attempts[li] >= s.retry.MaxAttempts {
+		// Parity units are pure redundancy: running out of attempts
+		// abandons the unit instead of failing the job — the group can
+		// still be satisfied by its other units.
+		s.coded.abandoned[li] = true
+		return nil
+	}
+	if s.replicasGone(li) {
 		return &BlockFailure{Block: s.tasks[li].Block, Attempts: s.attempts[li], Cause: ErrDataLost}
 	}
 	if s.attempts[li] >= s.retry.MaxAttempts {
@@ -899,15 +1115,7 @@ func (s *filterSim) requeue(li int, now float64, reason string) error {
 		ev.Detail = reason
 		s.rec.Record(ev)
 	}
-	it := retryItem{readyAt: now + s.retry.Delay(s.attempts[li]), li: li}
-	it.ev = s.kern.Post(sim.Event{At: it.readyAt, Kind: evRetryReady, Prio: 1, K1: int64(li)})
-	s.retries = append(s.retries, it)
-	sort.Slice(s.retries, func(a, b int) bool {
-		if s.retries[a].readyAt != s.retries[b].readyAt {
-			return s.retries[a].readyAt < s.retries[b].readyAt
-		}
-		return s.retries[a].li < s.retries[b].li
-	})
+	s.postRetry(retryItem{readyAt: now + s.retry.Delay(s.attempts[li]), li: li})
 	return nil
 }
 
@@ -916,7 +1124,7 @@ func (s *filterSim) dispatch(nid cluster.NodeID, slot, gen int, t sched.Task, li
 	node := s.topo.Node(nid)
 	s.attempts[li]++
 	attempt := s.attempts[li]
-	if s.layoutDirty {
+	if s.layoutDirty && !s.isParity(li) {
 		t.Locations = s.cfg.FS.Locations(t.Block)
 	}
 	local := isLocalTask(t, nid)
@@ -941,7 +1149,7 @@ func (s *filterSim) dispatch(nid cluster.NodeID, slot, gen int, t sched.Task, li
 	run := &runAttempt{
 		li: li, task: t, start: now, end: now + s.cfg.TaskOverhead + scan + compute,
 		scan: scan, compute: compute, matched: matched, local: local,
-		attempt: attempt, failed: failed, gen: gen, dup: s.lastDup,
+		attempt: attempt, failed: failed, gen: gen, dup: s.lastDup, quant: s.lastQuant,
 	}
 	if s.rec.Enabled() {
 		cand := make([]int, len(t.Locations))
@@ -976,8 +1184,12 @@ func (s *filterSim) commit(id cluster.NodeID, r *runAttempt) {
 	})
 	s.trackStat[r.li] = len(s.res.Tasks) - 1
 	s.res.NodeBusy[id] += r.end - r.start
-	s.res.NodeWorkload[id] += r.matched
-	s.nodeTasks[id]++
+	if !s.isParity(r.li) {
+		// Parity outputs are coded blobs, not analyzable sub-dataset
+		// fragments: they never feed the analysis-phase workload.
+		s.res.NodeWorkload[id] += r.matched
+		s.nodeTasks[id]++
+	}
 	if r.local {
 		s.res.LocalTasks++
 	} else {
@@ -994,8 +1206,22 @@ func (s *filterSim) commit(id cluster.NodeID, r *runAttempt) {
 			Node: int(id), Block: int(r.task.Block), Attempt: r.attempt,
 			Dur: r.end - r.start, Bytes: r.matched, Local: r.local})
 	}
-	if s.det != nil {
+	if r.quant {
+		// A quantile-trigger backup beat its straggling original.
+		s.res.SpeculativeWins++
+		s.spec.NoteWin()
+	}
+	if s.spec != nil {
+		// Every real completion anchors the quantile.
+		s.spec.ObserveFinish(r.end)
+	}
+	if s.coded != nil {
+		s.codedCommit(id, r)
+	}
+	if s.dupOutstanding != nil {
 		s.dupOutstanding[r.li] = false
+	}
+	if s.det != nil {
 		s.maybeSettle()
 	}
 }
@@ -1058,10 +1284,15 @@ func (s *filterSim) applyCrashGroup(t0 float64, group []cluster.NodeID) error {
 		for _, r := range s.byNode[d] {
 			s.res.Tasks[s.trackStat[r.li]].Lost = true
 			s.trackStat[r.li] = -1
-			s.res.NodeWorkload[d] -= r.matched
-			s.nodeTasks[d]--
+			if !s.isParity(r.li) {
+				s.res.NodeWorkload[d] -= r.matched
+				s.nodeTasks[d]--
+			}
 			s.done[r.li] = false
 			s.doneCount--
+			if s.coded != nil {
+				s.codedUncommit(r.li, t0)
+			}
 			s.res.LostOutputs++
 			if s.rec.Enabled() {
 				le := trace.Event{T: t0, Type: trace.EvOutputLost,
@@ -1078,9 +1309,11 @@ func (s *filterSim) applyCrashGroup(t0 float64, group []cluster.NodeID) error {
 	}
 	// Blocks that lost every replica in this group are gone for good; the
 	// job fails (typed) unless their filter output already survives on a
-	// live node. Blocks skipped by the meta-data are not needed at all.
+	// live node or — coded mode — their group is satisfied (the fragment
+	// is reconstructable). Blocks skipped by the meta-data are not needed
+	// at all.
 	for _, b := range lost {
-		if li, ok := s.byBlock[b]; ok && !s.done[li] {
+		if li, ok := s.byBlock[b]; ok && !s.done[li] && !s.groupObsolete(li) {
 			return &BlockFailure{Block: b, Attempts: s.attempts[li], Cause: ErrDataLost}
 		}
 	}
@@ -1150,6 +1383,9 @@ func (s *filterSim) recoverAnalysis(analysisStart float64, durations map[cluster
 		}
 		var blockBytes int64
 		for _, r := range s.byNode[d] {
+			if s.isParity(r.li) {
+				continue // parity blobs are not part of the analysis share
+			}
 			blockBytes += r.task.Bytes
 		}
 		// Recovery node: the live node that frees up earliest.

@@ -2,13 +2,13 @@ package mapreduce
 
 import (
 	"fmt"
-	"sort"
 
 	"datanet/internal/cluster"
 	"datanet/internal/detect"
 	"datanet/internal/hdfs"
 	"datanet/internal/sched"
 	"datanet/internal/sim"
+	"datanet/internal/straggle"
 	"datanet/internal/trace"
 
 	"datanet/internal/faults"
@@ -107,8 +107,13 @@ func (filterPhase) Run(jc *jobContext) error {
 	// The real application output is exactly-once per task regardless of
 	// how many attempts its block needed: the collector replays the task
 	// list (block order = file order) after the surviving outputs are
-	// known.
+	// known. Coded mode reconstructs decoded fragments with the real
+	// Reed–Solomon arithmetic instead of re-reading their blocks, so a
+	// decode bug surfaces as an output mismatch (see codedReplay).
 	if jc.cfg.ExecuteApp {
+		if jc.fsim.coded != nil {
+			return jc.fsim.codedReplay(jc.blocks, jc.coll)
+		}
 		for _, t := range jc.tasks {
 			jc.coll.runMap(jc.blocks[t.Index], jc.cfg)
 		}
@@ -193,7 +198,8 @@ func (analysisPhase) Run(jc *jobContext) error {
 		}
 	}
 	if cfg.Speculative {
-		res.SpeculativeWins = speculate(topo, live, res.NodeWorkload, durations, cfg, inj, jc.rec, analysisStart)
+		res.SpeculativeWins += straggle.BarrierSpeculate(topo, live, res.NodeWorkload,
+			durations, cfg.TaskOverhead, cfg.App.CostFactor(), inj, jc.rec, analysisStart)
 	}
 	res.FirstMapEnd = -1
 	for _, id := range topo.IDs() {
@@ -322,94 +328,4 @@ func (reducePhase) Run(jc *jobContext) error {
 	res.AnalysisTime = reduceEnd - res.FilterEnd
 	jc.clock.AdvanceTo(res.ReduceEnd)
 	return nil
-}
-
-// speculate models Hadoop's speculative execution over the per-node
-// analysis durations: for every straggler (duration > speculationFactor ×
-// median), the node with the shortest duration offloads part of the
-// straggler's filtered fragments once it is free, re-reading them over the
-// network. The fragment split f is chosen so both finish together:
-//
-//	d_straggler·f = helperFree + overhead + (1−f)·remoteDuration
-//
-// Durations are mutated in place; the number of helped stragglers is
-// returned. This stays a *reactive* mitigation: it discovers the skew only
-// at runtime and pays network re-reads, whereas DataNet prevents the skew.
-//
-// ids restricts speculation to live nodes. Degenerate topologies are
-// handled explicitly: fewer than two candidates means no distinct helper
-// exists, an all-zero duration profile has no stragglers (median 0), and a
-// helper with non-positive effective rates would make backup attempts
-// meaningless (division by zero), so all three return zero wins untouched.
-// rec, when enabled, receives one task.speculate event per win, anchored
-// at analysisStart on the straggler's track.
-func speculate(topo *cluster.Topology, ids []cluster.NodeID, workload map[cluster.NodeID]int64, durations map[cluster.NodeID]float64, cfg Config, inj *faults.Injector, rec *trace.Recorder, analysisStart float64) int {
-	const speculationFactor = 1.5
-	if len(ids) < 2 {
-		return 0
-	}
-	sorted := make([]float64, 0, len(ids))
-	for _, id := range ids {
-		sorted = append(sorted, durations[id])
-	}
-	sort.Float64s(sorted)
-	median := sorted[len(sorted)/2]
-	if median <= 0 {
-		return 0
-	}
-	// The fastest node hosts the backups, serially after its own work.
-	var helper cluster.NodeID
-	for i, id := range ids {
-		if i == 0 || durations[id] < durations[helper] {
-			helper = id
-		}
-	}
-	helperFree := durations[helper]
-	wins := 0
-	// Deterministic order: worst straggler first.
-	type cand struct {
-		id  cluster.NodeID
-		dur float64
-	}
-	var stragglers []cand
-	for _, id := range ids {
-		if id != helper && durations[id] > speculationFactor*median {
-			stragglers = append(stragglers, cand{id, durations[id]})
-		}
-	}
-	sort.Slice(stragglers, func(i, j int) bool {
-		if stragglers[i].dur != stragglers[j].dur {
-			return stragglers[i].dur > stragglers[j].dur
-		}
-		return stragglers[i].id < stragglers[j].id
-	})
-	h := topo.Node(helper)
-	helperNet := inj.NetRate(helper, h.NetRate)
-	helperCPU := inj.CPURate(helper, h.CPURate)
-	if helperNet <= 0 || helperCPU <= 0 {
-		return 0
-	}
-	for _, s := range stragglers {
-		w := float64(workload[s.id])
-		remote := w/helperNet + w*cfg.App.CostFactor()/helperCPU
-		start := helperFree + cfg.TaskOverhead
-		if s.dur+remote <= 0 {
-			continue
-		}
-		f := (start + remote) / (s.dur + remote)
-		if f >= 1 {
-			continue // the backup cannot beat the original
-		}
-		finish := s.dur * f
-		durations[s.id] = finish
-		helperFree = finish
-		wins++
-		if rec.Enabled() {
-			ev := trace.At(analysisStart+finish, trace.EvSpeculate)
-			ev.Node = int(s.id)
-			ev.Detail = fmt.Sprintf("backup on node %d", helper)
-			rec.Record(ev)
-		}
-	}
-	return wins
 }

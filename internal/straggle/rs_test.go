@@ -1,0 +1,138 @@
+package straggle
+
+import (
+	"bytes"
+	"testing"
+)
+
+// splitmix64 keeps the tests deterministic without math/rand.
+type testRNG struct{ s uint64 }
+
+func (r *testRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func randShards(rng *testRNG, k, size int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		s := make([]byte, size)
+		for b := range s {
+			s[b] = byte(rng.next())
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Any k of n shards reconstruct every data shard exactly, for every
+// erasure pattern of every small geometry.
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	rng := &testRNG{s: 7}
+	for _, geom := range [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {4, 6}, {5, 8}} {
+		k, n := geom[0], geom[1]
+		c, err := NewCode(k, n)
+		if err != nil {
+			t.Fatalf("NewCode(%d,%d): %v", k, n, err)
+		}
+		data := randShards(rng, k, 64)
+		parity, err := c.ParityShards(data)
+		if err != nil {
+			t.Fatalf("ParityShards: %v", err)
+		}
+		// Every subset of surviving shards of size >= k, via bitmask.
+		for mask := 0; mask < 1<<n; mask++ {
+			alive := 0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					alive++
+				}
+			}
+			if alive < k {
+				continue
+			}
+			shards := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				if i < k {
+					shards[i] = append([]byte(nil), data[i]...)
+				} else {
+					shards[i] = append([]byte(nil), parity[i-k]...)
+				}
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("(%d,%d) mask %b: %v", k, n, mask, err)
+			}
+			for i := 0; i < k; i++ {
+				if !bytes.Equal(shards[i], data[i]) {
+					t.Fatalf("(%d,%d) mask %b: data shard %d mismatch", k, n, mask, i)
+				}
+			}
+		}
+	}
+}
+
+// Randomized larger geometries: drop exactly n-k random shards.
+func TestReconstructRandomized(t *testing.T) {
+	rng := &testRNG{s: 42}
+	for iter := 0; iter < 200; iter++ {
+		k := 1 + rng.intn(10)
+		n := k + 1 + rng.intn(6)
+		c, err := NewCode(k, n)
+		if err != nil {
+			t.Fatalf("NewCode(%d,%d): %v", k, n, err)
+		}
+		data := randShards(rng, k, 1+rng.intn(200))
+		parity, err := c.ParityShards(data)
+		if err != nil {
+			t.Fatalf("ParityShards: %v", err)
+		}
+		shards := make([][]byte, n)
+		for i := 0; i < k; i++ {
+			shards[i] = append([]byte(nil), data[i]...)
+		}
+		for i := k; i < n; i++ {
+			shards[i] = append([]byte(nil), parity[i-k]...)
+		}
+		for drops := 0; drops < n-k; drops++ {
+			victim := rng.intn(n)
+			shards[victim] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("iter %d (%d,%d): %v", iter, k, n, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				t.Fatalf("iter %d: data shard %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c, err := NewCode(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 5)
+	shards[0] = []byte{1, 2}
+	shards[4] = []byte{3, 4}
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("want error with 2 of 3 required shards")
+	}
+}
+
+func TestNewCodeRejectsBadGeometry(t *testing.T) {
+	for _, geom := range [][2]int{{0, 1}, {3, 3}, {3, 2}, {200, 300}} {
+		if _, err := NewCode(geom[0], geom[1]); err == nil {
+			t.Errorf("NewCode(%d,%d): want error", geom[0], geom[1])
+		}
+	}
+}

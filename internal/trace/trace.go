@@ -46,8 +46,13 @@ const (
 	EvTaskRetry EventType = "task.retry"
 	// EvOutputLost marks a committed filter output destroyed by a crash.
 	EvOutputLost EventType = "task.output-lost"
-	// EvSpeculate marks a straggler analysis beaten by a backup attempt.
+	// EvSpeculate marks a speculative backup: a straggler analysis beaten
+	// by a backup attempt (barrier trigger) or a quantile-trigger backup
+	// launch during the filter phase.
 	EvSpeculate EventType = "task.speculate"
+	// EvCodeDecode marks one coded group's missing filter fragments being
+	// reconstructed from k surviving units (coded k-of-n execution).
+	EvCodeDecode EventType = "code.decode"
 	// EvTaskKilled marks a duplicate attempt killed because another
 	// attempt of the same task committed first (speculation-style dedupe
 	// after a false suspicion or rejoin race).
