@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, placement-sweep, straggler-sweep, modelcheck, aggregation, amortization, blocksize, replication, faulttol, detect)")
+	only := flag.String("only", "", "run a single experiment (fig1, fig2, table1, fig5, fig6, fig7, fig8, table2, fig9, fig10, migration, ablation, theory, sweep, hetero, reactive, iosaving, selectivity, weblog, placement, placement-sweep, straggler-sweep, partition-sweep, modelcheck, aggregation, amortization, blocksize, replication, faulttol, detect)")
 	csvDir := flag.String("csv", "", "also write the figure series as CSV files into this directory")
 	htmlOut := flag.String("html", "", "also write a self-contained HTML report (inline SVG) to this path")
 	workers := flag.Int("parallel", 1, "worker-pool size for independent suite experiments (output is identical at any count)")
@@ -184,6 +184,8 @@ func runOne(name string, emit func(string, fmt.Stringer)) error {
 		return print(experiments.PlacementSweep(experiments.MovieParams{}))
 	case "straggler-sweep":
 		return print(experiments.StragglerSweep(nil, experiments.MovieParams{}))
+	case "partition-sweep":
+		return print(experiments.PartitionSweep(experiments.MovieParams{}))
 	case "modelcheck":
 		return print(experiments.ModelCheck(nil, nil))
 	case "aggregation":

@@ -78,10 +78,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: datanet <build|query|analyze|top|verify|suite|chaos|serve|loadgen> [flags]
   build   -data FILE -meta OUT [-alpha A] [-block BYTES] [-nodes N]
   query   -data FILE -sub KEY [-meta FILE]
-  analyze -data FILE -sub KEY -app NAME [-sched locality|datanet|maxflow|lpt] [-skip]
+  analyze -data FILE -sub KEY -app NAME [-join-sub KEY] [-sched locality|datanet|maxflow|lpt] [-skip]
           [-meta FILE] [-crash N@T[:REJOIN],...] [-slow NxF,...] [-readerr P] [-retries N]
           [-detect oracle|heartbeat|phi] [-hb-interval S] [-hb-timeout S]
           [-speculate [-spec-quantile Q]] [-coded RATE]  (straggler mitigation)
+          [-partition off|hash|skew|range]  (key-aware reduce partitioning)
           [-rebalance off|hotspot|anneal|both [-rebalance-ticks N]]
           [-trace OUT [-trace-format jsonl|chrome]] [-json]
   top     -data FILE [-n N] | -meta FILE [-n N]
@@ -90,6 +91,7 @@ func usage() {
   chaos   [-runs N] [-seed S] [-detect heartbeat|phi|oracle] [-shrink]
           [-rebalance off|hotspot|anneal|both]  (no-lost-blocks invariant)
           [-mitigate off|speculative|coded]  (mitigation invariants)
+          [-partition off|hash|skew|range|rotate]  (partition-independence invariant)
           [-cluster N [-replicas K] [-shards S]]  (sharded-cluster invariants)
   serve   -meta NAME=FILE [-meta NAME=FILE ...] [-addr HOST:PORT] [-cache N]
           [-cluster N [-replicas K] [-shards S]]  (sharded, replicated serving)
@@ -232,7 +234,8 @@ func runQuery(args []string) error {
 func runAnalyze(args []string) error {
 	c := newCommon("analyze")
 	sub := c.fs.String("sub", "", "sub-dataset key")
-	appName := c.fs.String("app", "wordcount", "wordcount | histogram | movingavg | topk")
+	appName := c.fs.String("app", "wordcount", "wordcount | histogram | movingavg | topk | sort | join")
+	joinSub := c.fs.String("join-sub", "", "build-side sub-dataset key for -app join (its windows come from the meta-data distribution)")
 	schedName := c.fs.String("sched", "datanet", "locality | datanet | capacity | maxflow | lpt")
 	skip := c.fs.Bool("skip", false, "skip blocks proven empty of the target")
 	execute := c.fs.Bool("exec", false, "execute the application and print the top output pairs")
@@ -249,6 +252,7 @@ func runAnalyze(args []string) error {
 	speculate := c.fs.Bool("speculate", false, "launch budgeted backup attempts for tasks projected past the completion quantile")
 	specQuantile := c.fs.Float64("spec-quantile", 0.9, "speculation trigger quantile in (0,1), used with -speculate")
 	coded := c.fs.Float64("coded", 0, "coded k-of-n execution at this rate k/n in (0,1) (0 = off; e.g. 0.7)")
+	partitionMode := c.fs.String("partition", "off", "key-aware reduce partitioning: off | hash | skew | range")
 	rebalance := c.fs.String("rebalance", "off", "distribution-aware replica rebalancing before the run: off | hotspot | anneal | both")
 	rebalanceTicks := c.fs.Int("rebalance-ticks", 2, "maintenance ticks to run when -rebalance is enabled")
 	traceOut := c.fs.String("trace", "", "write the run's event timeline to this file")
@@ -275,6 +279,13 @@ func runAnalyze(args []string) error {
 		app = datanet.MovingAverage(86400)
 	case "topk":
 		app = datanet.TopKSearch(10, "plot twist ending amazing director")
+	case "sort":
+		app = datanet.DistributedSort()
+	case "join":
+		// Resolved below: the build side needs the meta-data distribution.
+		if *joinSub == "" {
+			return fmt.Errorf("-app join requires -join-sub")
+		}
 	default:
 		return fmt.Errorf("unknown app %q", *appName)
 	}
@@ -313,6 +324,20 @@ func runAnalyze(args []string) error {
 		} else if meta, err = datanet.BuildMeta(hfs, "data", datanet.MetaOptions{Alpha: *alpha}); err != nil {
 			return err
 		}
+	}
+	if *appName == "join" {
+		// The build side comes from the second sub-dataset's ElasticMap
+		// distribution — the meta-data prunes the build scan.
+		if meta == nil {
+			if meta, err = datanet.BuildMeta(hfs, "data", datanet.MetaOptions{Alpha: *alpha}); err != nil {
+				return err
+			}
+		}
+		build, err := datanet.BuildJoinSide(hfs, "data", meta, *joinSub, 86400)
+		if err != nil {
+			return err
+		}
+		app = datanet.SubDatasetJoin(*joinSub, 86400, build)
 	}
 	plan, err := parseFaultPlan(*crashSpec, *slowSpec, *readErr, *faultSeed)
 	if err != nil {
@@ -358,6 +383,14 @@ func runAnalyze(args []string) error {
 	case *coded > 0:
 		mit = &datanet.MitigationConfig{Mode: datanet.MitigateCoded, Rate: *coded}
 	}
+	partMode, err := datanet.ParsePartitionMode(*partitionMode)
+	if err != nil {
+		return err
+	}
+	var part *datanet.PartitionConfig
+	if partMode != datanet.PartitionOff {
+		part = &datanet.PartitionConfig{Mode: partMode, Seed: *faultSeed}
+	}
 	var rec *datanet.Trace
 	if *traceOut != "" || *jsonOut {
 		rec = datanet.NewTrace()
@@ -367,7 +400,7 @@ func runAnalyze(args []string) error {
 		App: app, Scheduler: schedID, Meta: meta, MetaErr: metaErr,
 		SkipEmpty: *skip, Execute: *execute,
 		Faults: plan, Retry: datanet.RetryPolicy{MaxAttempts: *retries},
-		Detect: detCfg, Mitigate: mit,
+		Detect: detCfg, Mitigate: mit, Partition: part,
 		Trace: rec,
 	}.Run()
 	if err != nil {
@@ -426,6 +459,22 @@ func runAnalyze(args []string) error {
 	if mit != nil && mit.Mode == datanet.MitigateCoded {
 		fmt.Printf("  coded execution: %d groups + %d parity tasks (rate %.2f), %d decodes rebuilt %s\n",
 			res.CodedGroups, res.CodedParityUnits, *coded, res.CodedDecodes, metrics.Bytes(res.CodedDecodedBytes))
+	}
+	if res.PartitionName != "" {
+		var maxLoad, total int64
+		for _, l := range res.PartitionLoads {
+			total += l
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		mean := int64(0)
+		if n := len(res.PartitionLoads); n > 0 {
+			mean = total / int64(n)
+		}
+		fmt.Printf("  partitioning: %s over %d reducers (%d split keys, max/mean load %s/%s)\n",
+			res.PartitionName, len(res.PartitionLoads), res.PartitionSplitKeys,
+			metrics.Bytes(maxLoad), metrics.Bytes(mean))
 	}
 	if res.MetadataFallback {
 		fmt.Printf("  metadata fallback: degraded to %s\n", res.SchedulerName)
@@ -639,6 +688,7 @@ func runChaos(args []string) error {
 	shrink := fs.Bool("shrink", false, "reduce the first violating plan to a minimal counterexample")
 	rebalance := fs.String("rebalance", "off", "run the distribution-aware rebalancer before each job and check the no-lost-blocks invariant: off | hotspot | anneal | both")
 	mitigate := fs.String("mitigate", "off", "add a straggler-mitigated arm and check the mitigation invariants: off | speculative | coded")
+	partitionMode := fs.String("partition", "off", "add key-aware partitioning arms and check the partition-independence invariant: off | hash | skew | range | rotate")
 	clusterN := fs.Int("cluster", 0, "check the sharded metadata cluster with N nodes instead of the job engine (0 = engine)")
 	replicas := fs.Int("replicas", 2, "followers per shard in cluster chaos")
 	shards := fs.Int("shards", 4, "catalog shards in cluster chaos")
@@ -660,10 +710,16 @@ func runChaos(args []string) error {
 	if _, err := datanet.ParseMitigationMode(*mitigate); err != nil {
 		return err
 	}
+	if *partitionMode != "" && *partitionMode != "off" && *partitionMode != "rotate" {
+		if _, err := datanet.ParsePartitionMode(*partitionMode); err != nil {
+			return err
+		}
+	}
 	p := chaos.DefaultParams()
 	p.Detect.Mode = mode
 	p.Rebalance = rebalanceMode
 	p.Mitigate = *mitigate
+	p.Partition = *partitionMode
 	rep, err := chaos.Run(*runs, *seed, p)
 	if err != nil {
 		return err

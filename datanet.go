@@ -33,6 +33,7 @@ import (
 	"datanet/internal/hdfs"
 	"datanet/internal/mapreduce"
 	"datanet/internal/metrics"
+	"datanet/internal/partition"
 	"datanet/internal/records"
 	"datanet/internal/sched"
 	"datanet/internal/straggle"
@@ -132,6 +133,34 @@ const (
 
 // ParseMitigationMode parses "off" (or ""), "speculative" or "coded".
 func ParseMitigationMode(s string) (MitigationMode, error) { return straggle.ParseMode(s) }
+
+// PartitionConfig configures key-aware reduce partitioning: the strategy,
+// the weighted-reservoir sample size and seed (range mode), and the
+// per-key split cap (skew mode). A nil pointer or Mode "off" keeps the
+// legacy volumetric 1/R shuffle split bit-identically.
+type PartitionConfig = partition.Config
+
+// PartitionMode enumerates reduce-partitioning strategies.
+type PartitionMode = partition.Mode
+
+// Partition modes for PartitionConfig.Mode.
+const (
+	// PartitionOff disables key-aware partitioning (the zero value).
+	PartitionOff = partition.ModeOff
+	// PartitionHash assigns keys by FNV hash modulo the reducer count —
+	// the classic baseline, balanced only when the keys are.
+	PartitionHash = partition.ModeHash
+	// PartitionSkew bin-packs keys by harvested frequency (LPT greedy),
+	// splitting heavy keys across reducers; its max reducer load never
+	// exceeds hash's.
+	PartitionSkew = partition.ModeSkew
+	// PartitionRange cuts the key space at quantiles of a weighted
+	// reservoir sample, giving each reducer a contiguous key range.
+	PartitionRange = partition.ModeRange
+)
+
+// ParsePartitionMode parses "off" (or ""), "hash", "skew" or "range".
+func ParsePartitionMode(s string) (PartitionMode, error) { return partition.ParseMode(s) }
 
 // Rebalancer is the distribution-aware replica maintenance loop: hot
 // blocks (high access count × sub-dataset concentration, straight from
@@ -380,6 +409,11 @@ type Job struct {
 	// quantile-triggered speculative backups or coded k-of-n execution.
 	// Nil (or Mode "off") runs are bit-identical to pre-mitigation runs.
 	Mitigate *MitigationConfig
+	// Partition, when non-nil and not off, plans the key → reducer
+	// assignment from key frequencies harvested during the analysis-map
+	// phase instead of the uniform volumetric split. Which strategy runs
+	// never changes the merged output — only the shuffle/reduce timing.
+	Partition *PartitionConfig
 	// MetaErr records that meta-data for this job failed to load (e.g. a
 	// corrupt ElasticMap encoding). The job then degrades to the locality
 	// baseline and sets Result.MetadataFallback instead of failing.
@@ -410,6 +444,7 @@ func (j Job) Run() (*Result, error) {
 		Retry:      j.Retry,
 		Detect:     j.Detect,
 		Mitigate:   j.Mitigate,
+		Partition:  j.Partition,
 		WeightsErr: j.MetaErr,
 		Trace:      j.Trace,
 	})
@@ -432,3 +467,31 @@ func TopKSearch(k int, query string) App { return apps.NewTopKSearch(k, query) }
 // Sessionize reconstructs session windows from the target's event stream
 // (the user-sessionization analysis the paper's introduction motivates).
 func Sessionize(gapSeconds int64) App { return apps.NewSessionize(gapSeconds) }
+
+// DistributedSort globally orders the target's records by timestamp:
+// with PartitionRange each reducer owns a contiguous key range, so the
+// concatenated reducer outputs are the sorted stream.
+func DistributedSort() App { return apps.DistributedSort{} }
+
+// SubDatasetJoin joins the analyzed sub-dataset's time-windowed rating
+// stream against a second sub-dataset's pre-aggregated windows (see
+// BuildJoinSide). windowSeconds <= 0 takes the one-day default.
+func SubDatasetJoin(buildSub string, windowSeconds int64, build map[string]string) App {
+	return apps.NewSubDatasetJoin(buildSub, windowSeconds, build)
+}
+
+// BuildJoinSide aggregates buildSub's rating stream into per-window
+// "count×mean" join entries, scanning only the blocks the ElasticMap
+// distribution reports non-empty — the meta-data prunes the build-side
+// scan exactly as it prunes analysis scheduling.
+func BuildJoinSide(fs *FileSystem, file string, meta *Meta, buildSub string, windowSeconds int64) (map[string]string, error) {
+	blocks, err := fs.Blocks(file)
+	if err != nil {
+		return nil, err
+	}
+	byBlock := make([][]Record, len(blocks))
+	for i, b := range blocks {
+		byBlock[i] = b.Records
+	}
+	return apps.BuildJoinSide(byBlock, meta.Array().Distribution(buildSub), buildSub, windowSeconds), nil
+}

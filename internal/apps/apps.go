@@ -35,6 +35,16 @@ type App interface {
 	// Map processes one record.
 	Map(r records.Record, emit Emit)
 	// Reduce folds all values of one key into a final value.
+	//
+	// Contract: Reduce must be order- and split-insensitive — a function
+	// of the value *multiset*, returning byte-identical output for any
+	// permutation of values and for any concatenation order of partial
+	// value lists. The engine relies on this in two places: the shuffle
+	// delivers values in partitioner-dependent order, and the skew-aware
+	// partitioner splits heavy keys across reducers whose partial lists
+	// are merged before the final Reduce. The partition-independence
+	// harness and TestReduceOrderAndSplitInsensitive enforce the contract
+	// for every registered app.
 	Reduce(key string, values []string) string
 }
 

@@ -21,6 +21,7 @@ import (
 	"datanet/internal/faults"
 	"datanet/internal/hdfs"
 	"datanet/internal/mapreduce"
+	"datanet/internal/partition"
 	"datanet/internal/records"
 	"datanet/internal/sched"
 	"datanet/internal/straggle"
@@ -65,6 +66,13 @@ type Params struct {
 	// default fixture's 2 KiB blocks are overhead-dominated.
 	PayloadBytes int
 	TaskOverhead float64
+	// Partition, when not "" / "off", adds key-aware reduce-partitioning
+	// arms that inherit every existing invariant plus partition
+	// independence: the merged reduce output must stay byte-identical to
+	// the partitioning-off baseline, under any fault plan and any reducer
+	// count (rotated per seed). "hash", "skew" or "range" pins one
+	// strategy; "rotate" cycles through all three across seeds.
+	Partition string
 }
 
 // DefaultParams is the CI-sized configuration: an 8-node fixture small
@@ -113,27 +121,62 @@ type Harness struct {
 	// the name of the mitigated scheduler arm it adds.
 	mit    *straggle.Config
 	mitArm string
+	// partModes lists the reduce-partitioning strategies under test (empty
+	// when Params.Partition is off).
+	partModes []partition.Mode
 }
 
 type schedulerArm struct {
 	name  string
 	tweak func(*mapreduce.Config)
+	// part marks a key-aware partitioning arm (the zero value "" is a
+	// legacy volumetric arm).
+	part partition.Mode
 }
 
 func (h *Harness) schedulers() []schedulerArm {
 	arms := []schedulerArm{
-		{"hadoop-locality", func(c *mapreduce.Config) {}},
-		{"datanet", func(c *mapreduce.Config) {
+		{name: "hadoop-locality", tweak: func(c *mapreduce.Config) {}},
+		{name: "datanet", tweak: func(c *mapreduce.Config) {
 			c.Picker = sched.NewDataNetPicker
 			c.Weights = h.weights
 		}},
-		{"speculative", func(c *mapreduce.Config) { c.Speculative = true }},
+		{name: "speculative", tweak: func(c *mapreduce.Config) { c.Speculative = true }},
 	}
 	if h.mit != nil {
-		arms = append(arms, schedulerArm{h.mitArm, func(c *mapreduce.Config) {
+		arms = append(arms, schedulerArm{name: h.mitArm, tweak: func(c *mapreduce.Config) {
 			mit := *h.mit
 			c.Mitigate = &mit
 		}})
+	}
+	return arms
+}
+
+// partitionArms returns one arm per configured partitioning mode. Each
+// arm runs under the DataNet scheduler (the paper's configuration) with
+// key-aware partitioning on; the reducer count is rotated per seed by
+// CheckPlan so independence is exercised across widths, and the range
+// sampler's seed is fixed so replays are bit-identical. When the campaign
+// is mitigated, the partition arms inherit the mitigation mode —
+// independence must survive speculative backups and coded recovery, not
+// just plain crash/slowdown plans.
+func (h *Harness) partitionArms() []schedulerArm {
+	arms := make([]schedulerArm, 0, len(h.partModes))
+	for _, mode := range h.partModes {
+		mode := mode
+		arms = append(arms, schedulerArm{
+			name: "partition-" + string(mode),
+			part: mode,
+			tweak: func(c *mapreduce.Config) {
+				c.Picker = sched.NewDataNetPicker
+				c.Weights = h.weights
+				c.Partition = &partition.Config{Mode: mode, Seed: 20160523}
+				if h.mit != nil {
+					mit := *h.mit
+					c.Mitigate = &mit
+				}
+			},
+		})
 	}
 	return arms
 }
@@ -198,6 +241,19 @@ func NewHarness(p Params) (*Harness, error) {
 			h.mitArm = "mitigate-" + string(mode)
 		}
 	}
+	switch p.Partition {
+	case "", "off":
+	case "rotate":
+		h.partModes = []partition.Mode{partition.ModeHash, partition.ModeSkew, partition.ModeRange}
+	default:
+		mode, err := partition.ParseMode(p.Partition)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		if mode != partition.ModeOff {
+			h.partModes = []partition.Mode{mode}
+		}
+	}
 
 	// Ground-truth weights for the DataNet arm, from the block split
 	// (identical across fixture instances).
@@ -218,7 +274,7 @@ func NewHarness(p Params) (*Harness, error) {
 		}
 	}
 
-	for _, s := range h.schedulers() {
+	for _, s := range append(h.schedulers(), h.partitionArms()...) {
 		fs, err := chaosFS(p)
 		if err != nil {
 			return nil, err
@@ -236,6 +292,13 @@ func NewHarness(p Params) (*Harness, error) {
 	if h.mit != nil {
 		if !reflect.DeepEqual(h.healthy[h.mitArm].Output, h.healthy["hadoop-locality"].Output) {
 			return nil, fmt.Errorf("chaos: healthy %s output diverges from the unmitigated baseline", h.mitArm)
+		}
+	}
+	// Partition independence starts at the healthy runs: every partitioner
+	// must reproduce the volumetric baseline's merged output exactly.
+	for _, s := range h.partitionArms() {
+		if !reflect.DeepEqual(h.healthy[s.name].Output, h.healthy["hadoop-locality"].Output) {
+			return nil, fmt.Errorf("chaos: healthy %s output diverges from the partitioning-off baseline", s.name)
 		}
 	}
 	h.horizon = h.healthy["hadoop-locality"].FilterEnd
@@ -274,7 +337,15 @@ func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
 		return out
 	}
 	armErr := map[string]error{}
-	for _, s := range h.schedulers() {
+	arms := h.schedulers()
+	if len(h.partModes) > 0 {
+		// Rotate one partitioning arm per seed (a campaign covers every
+		// mode) and rotate the reducer count with it: independence must
+		// hold at any width, not just the default one-per-node.
+		parts := h.partitionArms()
+		arms = append(arms, parts[int(seed%uint64(len(parts)))])
+	}
+	for _, s := range arms {
 		run := func(report bool) (*mapreduce.Result, error) {
 			fs, err := chaosFS(h.p)
 			if err != nil {
@@ -293,6 +364,9 @@ func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
 			}
 			cfg := h.baseConfig(fs)
 			s.tweak(&cfg)
+			if s.part != "" {
+				cfg.Reducers = 1 + int(seed>>3%13)
+			}
 			cfg.Faults = plan
 			cfg.Detect = h.p.Detect
 			return mapreduce.Run(cfg)
@@ -362,6 +436,30 @@ func (h *Harness) CheckPlan(seed uint64, plan *faults.Plan) []Violation {
 		if res.JobTime > bound {
 			fail(s.name, "makespan-bound", "job time %g exceeds %g (healthy %g)",
 				res.JobTime, bound, healthy.JobTime)
+		}
+		// Shuffle-byte conservation: the per-reducer attribution must sum
+		// exactly to the total that crossed the network, on every arm.
+		var perReducer int64
+		for _, b := range res.ShuffleBytesPerReducer {
+			perReducer += b
+		}
+		if perReducer != res.ShuffleBytes {
+			fail(s.name, "shuffle-conservation", "per-reducer bytes sum %d, ShuffleBytes %d",
+				perReducer, res.ShuffleBytes)
+		}
+		// Partition independence: a key-aware arm must report its strategy
+		// and reproduce the partitioning-off baseline's merged output
+		// byte-for-byte, whatever the plan did.
+		if s.part != "" {
+			if res.PartitionName != string(s.part) {
+				fail(s.name, "partition-independence", "run reports partitioner %q, want %q",
+					res.PartitionName, s.part)
+			}
+			if !reflect.DeepEqual(res.Output, h.healthy["hadoop-locality"].Output) {
+				fail(s.name, "partition-independence",
+					"merged output diverges from the partitioning-off baseline (%d vs %d keys)",
+					len(res.Output), len(h.healthy["hadoop-locality"].Output))
+			}
 		}
 		// Mitigation arm: work amplification stays within the declared
 		// budget — the launch cap for speculation, the fixed parity

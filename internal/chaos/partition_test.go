@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"testing"
+
+	"datanet/internal/partition"
+)
+
+// Partition-independence campaigns: with Params.Partition set, every
+// seed additionally runs a key-aware partitioning arm (mode and reducer
+// count rotated per seed) that inherits all the standard invariants —
+// replay, records-lost, workload and shuffle-byte conservation, phase
+// monotonicity, makespan bound — plus the headline one: the merged
+// reduce output must be byte-identical to the partitioning-off baseline,
+// no matter what the fault plan did.
+func TestChaosCampaignPartitionRotation(t *testing.T) {
+	runs := 30
+	if testing.Short() {
+		runs = 9
+	}
+	p := DefaultParams()
+	p.Partition = "rotate"
+	rep, err := Run(runs, 5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != runs {
+		t.Errorf("Runs = %d, want %d", rep.Runs, runs)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s\nplan: %+v", v, v.Plan)
+	}
+}
+
+// Independence must also hold while straggler mitigation is rewriting
+// the schedule underneath the partitioner: the partition arms inherit
+// the campaign's mitigation mode (speculative backups, coded k-of-n).
+func TestChaosCampaignPartitionUnderMitigation(t *testing.T) {
+	runs := 10
+	if testing.Short() {
+		runs = 4
+	}
+	for _, mode := range []string{"speculative", "coded"} {
+		t.Run(mode, func(t *testing.T) {
+			p := DefaultParams()
+			p.Partition = "rotate"
+			p.Mitigate = mode
+			rep, err := Run(runs, 11, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s\nplan: %+v", v, v.Plan)
+			}
+		})
+	}
+}
+
+// A pinned single-mode campaign per strategy, so a regression in one
+// partitioner is named directly instead of surfacing as a rotation
+// failure.
+func TestChaosCampaignEachPartitioner(t *testing.T) {
+	for _, mode := range []string{"hash", "skew", "range"} {
+		t.Run(mode, func(t *testing.T) {
+			p := DefaultParams()
+			p.Partition = mode
+			rep, err := Run(6, 17, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s\nplan: %+v", v, v.Plan)
+			}
+		})
+	}
+}
+
+// The rotation must cover every mode across a campaign and reject junk.
+func TestPartitionParamsParsing(t *testing.T) {
+	h, err := NewHarness(paramsWithPartition("rotate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.partModes); got != 3 {
+		t.Fatalf("rotate built %d modes, want 3", got)
+	}
+	seen := map[partition.Mode]bool{}
+	arms := h.partitionArms()
+	for seed := uint64(0); seed < 9; seed++ {
+		seen[arms[int(seed%uint64(len(arms)))].part] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("seed rotation covered %d modes, want 3", len(seen))
+	}
+
+	if h, err := NewHarness(paramsWithPartition("skew")); err != nil {
+		t.Fatal(err)
+	} else if len(h.partModes) != 1 || h.partModes[0] != partition.ModeSkew {
+		t.Errorf("fixed mode built %v", h.partModes)
+	}
+	if _, err := NewHarness(paramsWithPartition("zipf")); err == nil {
+		t.Error("junk partition mode accepted")
+	}
+	if h, err := NewHarness(paramsWithPartition("off")); err != nil {
+		t.Fatal(err)
+	} else if len(h.partModes) != 0 {
+		t.Errorf("off built %v", h.partModes)
+	}
+}
+
+func paramsWithPartition(mode string) Params {
+	p := DefaultParams()
+	p.Partition = mode
+	return p
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+
+	"datanet/internal/apps"
+	"datanet/internal/hdfs"
+	"datanet/internal/mapreduce"
+	"datanet/internal/metrics"
+	"datanet/internal/partition"
+	"datanet/internal/records"
+	"datanet/internal/sched"
+)
+
+// The partition sweep measures what key-aware reduce partitioning buys on
+// three intermediate-key shapes: uniform (every word equally likely, hash
+// is already balanced), zipfian (one head word carrying ~30% of the mass,
+// the worst case for hash), and clustered (keys lexically grouped with a
+// heavy middle cluster, where sampled range cuts concentrate contiguous
+// runs). Each cell reports the reduce-phase makespan, the max and mean
+// planned reducer load, shuffle bytes and split-key count — and checks
+// the independence contract: every strategy's merged output must be
+// byte-identical to the partitioning-off baseline.
+
+// partitionReducers is the reduce-task count every sweep cell runs with.
+const partitionReducers = 8
+
+// PartitionRow is one (distribution, strategy) outcome.
+type PartitionRow struct {
+	Dist     string
+	Strategy string
+	// ReduceMakespan is the reduce phase's duration (ReduceEnd − ShuffleEnd):
+	// with homogeneous reducers it is proportional to the max reducer share.
+	ReduceMakespan float64
+	// MaxLoad/MeanLoad summarize the per-reducer reduce workloads (bytes).
+	MaxLoad, MeanLoad float64
+	// ShuffleBytes is the total cross-network shuffle volume.
+	ShuffleBytes int64
+	// SplitKeys counts heavy keys the planner split across reducers.
+	SplitKeys int
+	// OutputOK reports the merged output matched the partitioning-off run.
+	OutputOK bool
+}
+
+// PartitionSweepResult is the full strategy × distribution grid.
+type PartitionSweepResult struct {
+	Rows []PartitionRow
+}
+
+// partitionDist is one synthetic intermediate-key shape: a vocabulary
+// with draw weights. Words within a distribution share a length so the
+// byte-weighted key-frequency harvest tracks the draw probabilities.
+type partitionDist struct {
+	name    string
+	vocab   []string
+	weights []float64
+}
+
+func partitionDists() []partitionDist {
+	uniform := partitionDist{name: "uniform"}
+	for i := 0; i < 150; i++ {
+		uniform.vocab = append(uniform.vocab, fmt.Sprintf("uni-%04d", i))
+		uniform.weights = append(uniform.weights, 1)
+	}
+	// Zipfian tiers: one head word at 30% of the mass, ten warm words at
+	// 3% each, a hundred tail words sharing the rest.
+	zipf := partitionDist{name: "zipfian"}
+	zipf.vocab = append(zipf.vocab, "zipf-head")
+	zipf.weights = append(zipf.weights, 30)
+	for i := 0; i < 10; i++ {
+		zipf.vocab = append(zipf.vocab, fmt.Sprintf("zipf-w%02d", i))
+		zipf.weights = append(zipf.weights, 3)
+	}
+	for i := 0; i < 100; i++ {
+		zipf.vocab = append(zipf.vocab, fmt.Sprintf("zipf-t%03d", i))
+		zipf.weights = append(zipf.weights, 0.4)
+	}
+	// Clustered: three lexical prefix runs, the middle one carrying 70%
+	// of the mass — contiguous range cuts must straddle it.
+	clustered := partitionDist{name: "clustered"}
+	for i := 0; i < 40; i++ {
+		clustered.vocab = append(clustered.vocab, fmt.Sprintf("alpha-%03d", i))
+		clustered.weights = append(clustered.weights, 15.0/40)
+	}
+	for i := 0; i < 40; i++ {
+		clustered.vocab = append(clustered.vocab, fmt.Sprintf("mid-%05d", i))
+		clustered.weights = append(clustered.weights, 70.0/40)
+	}
+	for i := 0; i < 40; i++ {
+		clustered.vocab = append(clustered.vocab, fmt.Sprintf("zeta-%04d", i))
+		clustered.weights = append(clustered.weights, 15.0/40)
+	}
+	return []partitionDist{uniform, zipf, clustered}
+}
+
+// partitionRecords draws the dataset for one distribution: three quarters
+// of the records belong to the analyzed sub-dataset, the rest are
+// background so the filter phase has something to discard.
+func partitionRecords(d partitionDist, seed int64) []records.Record {
+	rng := rand.New(rand.NewSource(seed))
+	var total float64
+	cum := make([]float64, len(d.weights))
+	for i, w := range d.weights {
+		total += w
+		cum[i] = total
+	}
+	draw := func() string {
+		x := rng.Float64() * total
+		for i, c := range cum {
+			if x < c {
+				return d.vocab[i]
+			}
+		}
+		return d.vocab[len(d.vocab)-1]
+	}
+	var recs []records.Record
+	for i := 0; i < 2400; i++ {
+		var sb strings.Builder
+		for w := 0; w < 8; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(draw())
+		}
+		sub := "sub-main"
+		if i%4 == 3 {
+			sub = fmt.Sprintf("sub-bg-%d", i%3)
+		}
+		recs = append(recs, records.Record{
+			Sub:     sub,
+			Time:    int64(i) * 600,
+			Rating:  1 + float64(rng.Intn(9))/2,
+			Payload: sb.String(),
+		})
+	}
+	return recs
+}
+
+// partitionStrategies is the sweep's strategy axis; "off" is the
+// reference both for output identity and for the legacy uniform split.
+func partitionStrategies(seed int64) []struct {
+	name string
+	cfg  *partition.Config
+} {
+	return []struct {
+		name string
+		cfg  *partition.Config
+	}{
+		{"off", nil},
+		{"hash", &partition.Config{Mode: partition.ModeHash}},
+		{"skew", &partition.Config{Mode: partition.ModeSkew}},
+		{"range", &partition.Config{Mode: partition.ModeRange, Seed: seed}},
+	}
+}
+
+// PartitionSweep runs the {off, hash, skew, range} × {uniform, zipfian,
+// clustered} grid. A zero p takes a compact 16-node environment.
+func PartitionSweep(p MovieParams) (*PartitionSweepResult, error) {
+	if p.Nodes == 0 {
+		p = MovieParams{Nodes: 16, Racks: 2, BlockBytes: 32 << 10, Seed: 42}
+	}
+	topo, err := scaledTopology(p.Nodes, p.Racks, p.BlockBytes)
+	if err != nil {
+		return nil, err
+	}
+	res := &PartitionSweepResult{}
+	for di, d := range partitionDists() {
+		fs, err := hdfs.NewFileSystem(topo, hdfs.Config{BlockSize: p.BlockBytes, Seed: p.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fs.Write("dataset.log", partitionRecords(d, p.Seed+int64(di))); err != nil {
+			return nil, err
+		}
+		var reference map[string]string
+		for _, s := range partitionStrategies(p.Seed) {
+			r, err := mapreduce.Run(mapreduce.Config{
+				FS: fs, File: "dataset.log", TargetSub: "sub-main",
+				App: apps.WordCount{}, Picker: sched.NewDataNetPicker,
+				ExecuteApp: true, Reducers: partitionReducers,
+				Partition: s.cfg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("partition sweep %s/%s: %w", d.name, s.name, err)
+			}
+			if reference == nil {
+				reference = r.Output
+			}
+			var max, sum float64
+			for _, v := range r.ReduceWorkloads {
+				sum += v
+				if v > max {
+					max = v
+				}
+			}
+			res.Rows = append(res.Rows, PartitionRow{
+				Dist: d.name, Strategy: s.name,
+				ReduceMakespan: r.ReduceEnd - r.ShuffleEnd,
+				MaxLoad:        max,
+				MeanLoad:       sum / float64(len(r.ReduceWorkloads)),
+				ShuffleBytes:   r.ShuffleBytes,
+				SplitKeys:      r.PartitionSplitKeys,
+				OutputOK:       reflect.DeepEqual(r.Output, reference),
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *PartitionSweepResult) String() string {
+	t := metrics.NewTable("Extension — key-aware reduce partitioning (strategy × key distribution)",
+		"distribution", "strategy", "reduce", "max load", "mean load", "imbalance", "shuffle", "splits", "output")
+	for _, row := range r.Rows {
+		ok := "ok"
+		if !row.OutputOK {
+			ok = "DIVERGED"
+		}
+		imb := 0.0
+		if row.MeanLoad > 0 {
+			imb = row.MaxLoad / row.MeanLoad
+		}
+		t.Add(row.Dist, row.Strategy, metrics.Seconds(row.ReduceMakespan),
+			metrics.Bytes(int64(row.MaxLoad)), metrics.Bytes(int64(row.MeanLoad)),
+			fmt.Sprintf("%.2f×", imb), metrics.Bytes(row.ShuffleBytes),
+			fmt.Sprint(row.SplitKeys), ok)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteString("  (hash is balanced only when keys are; the skew-aware planner splits the zipfian head across\n   reducers, and sampled range cuts track the clustered mass — outputs byte-identical throughout)\n")
+	return sb.String()
+}
+
+// SimMakespans exposes each cell's reduce-phase makespan to the benchmark
+// emitter (the BENCH_10 gate compares zipfian/skew against zipfian/hash).
+func (r *PartitionSweepResult) SimMakespans() map[string]float64 {
+	m := make(map[string]float64, len(r.Rows))
+	for _, row := range r.Rows {
+		m[row.Dist+"/"+row.Strategy] = row.ReduceMakespan
+	}
+	return m
+}
+
+// Counters exposes per-cell loads, split counts and the sweep-wide
+// divergence tally to the benchmark emitter.
+func (r *PartitionSweepResult) Counters() map[string]int64 {
+	c := make(map[string]int64, 2*len(r.Rows)+1)
+	var diverged int64
+	for _, row := range r.Rows {
+		c[row.Dist+"/"+row.Strategy+"/max_load"] = int64(row.MaxLoad)
+		c[row.Dist+"/"+row.Strategy+"/split_keys"] = int64(row.SplitKeys)
+		if !row.OutputOK {
+			diverged++
+		}
+	}
+	c["output_divergences"] = diverged
+	return c
+}

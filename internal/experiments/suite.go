@@ -152,6 +152,10 @@ func suiteSections() []suiteSection {
 			r, err := StragglerSweep(nil, MovieParams{})
 			return r, err
 		}},
+		{"partition-sweep", false, func(*Env) (fmt.Stringer, error) {
+			r, err := PartitionSweep(MovieParams{})
+			return r, err
+		}},
 	}
 }
 

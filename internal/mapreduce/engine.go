@@ -35,6 +35,7 @@ import (
 	"datanet/internal/detect"
 	"datanet/internal/faults"
 	"datanet/internal/hdfs"
+	"datanet/internal/partition"
 	"datanet/internal/records"
 	"datanet/internal/sched"
 	"datanet/internal/sim"
@@ -87,6 +88,14 @@ type Config struct {
 	// (straggle.ModeCoded). Nil or off leaves every schedule
 	// byte-identical to the unmitigated engine. See internal/straggle.
 	Mitigate *straggle.Config
+	// Partition, when enabled, replaces the volumetric 1/R shuffle split
+	// with key-aware reduce partitioning: the engine harvests the
+	// intermediate key frequencies during the analysis-map phase, plans a
+	// key → reducer assignment (hash baseline, skew-aware bin-packing, or
+	// sampled range cuts — see internal/partition), and drives per-reducer
+	// shuffle bytes and reduce workloads from the planned shares. Nil or
+	// off keeps the legacy volumetric model byte-identical.
+	Partition *partition.Config
 	// FilterCostFactor scales CPU time per matched byte during the filter
 	// phase (default 0.2: predicate evaluation plus local write).
 	FilterCostFactor float64
@@ -200,6 +209,21 @@ type Result struct {
 	ShuffleDurations []float64
 	// ShuffleBytes is the map output volume that crossed the network.
 	ShuffleBytes int64
+	// ShuffleBytesPerReducer attributes ShuffleBytes to individual
+	// reducers (same indexing as ShuffleDurations; the entries sum exactly
+	// to ShuffleBytes). With partitioning off every reducer gets the
+	// volumetric 1/R share; with it on, its planned key share.
+	ShuffleBytesPerReducer []int64
+	// ReduceWorkloads is the per-reducer reduce-phase input volume in
+	// output bytes (the workload its compute time scales with).
+	ReduceWorkloads []float64
+	// PartitionName names the reduce partitioner when Config.Partition is
+	// enabled ("" otherwise); PartitionLoads is its planned per-reducer
+	// key bytes and PartitionSplitKeys the number of heavy keys split
+	// across multiple reducers (skew mode only).
+	PartitionName      string
+	PartitionLoads     []int64
+	PartitionSplitKeys int
 	// Tasks lists filter-phase task stats in completion order.
 	Tasks []TaskStat
 	// LocalTasks/RemoteTasks count filter-phase data-locality outcomes.
@@ -330,6 +354,17 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Key-aware partitioning is equally opt-in: nil/off keeps the legacy
+	// volumetric shuffle model and a byte-identical schedule. The mode is
+	// validated up front so a typo fails the job instead of silently
+	// hashing.
+	var part partition.Partitioner
+	if cfg.Partition.Enabled() {
+		if _, err := partition.ParseMode(string(cfg.Partition.Mode)); err != nil {
+			return nil, err
+		}
+		part = partition.New(cfg.Partition)
+	}
 	rec := cfg.Trace
 	if rec.Enabled() {
 		// The name-node reports maintenance (re-replication, lost blocks)
@@ -415,6 +450,14 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// The analysis-map phase runs over the blocks of the *pre-coded* task
+	// list (coded mode adds parity units that carry no new records), so
+	// the key-frequency harvest remembers those indices now.
+	mapBlocks := make([]int, len(tasks))
+	for i, t := range tasks {
+		mapBlocks[i] = t.Index
+	}
+
 	// Coded k-of-n execution rewrites the task list before scheduling:
 	// every group of k consecutive tasks gains parity units (redundant
 	// coded blocks pre-placed across the cluster), and the phase barrier
@@ -449,13 +492,16 @@ func Run(cfg Config) (*Result, error) {
 		tasks:  tasks,
 		fsim:   newFilterSim(cfg, topo, inj, retry, tasks, truth, picker, res, det, spec, coded),
 		coll:   newCollector(cfg),
+		part:   part,
+
+		mapBlocks: mapBlocks,
 	}
 	if err := runPipeline(jc); err != nil {
 		return nil, err
 	}
 
 	if cfg.ExecuteApp {
-		res.Output = jc.coll.reduce(cfg.App)
+		res.Output = jc.coll.reduce(cfg.App, jc.part)
 	}
 	sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].End < res.Tasks[j].End })
 	return res, nil
@@ -502,9 +548,32 @@ func (c *collector) runRecords(recs []records.Record, cfg Config) {
 	}
 }
 
-func (c *collector) reduce(app apps.App) map[string]string {
+// reduce runs the final reduce over the grouped pairs. When a partitioner
+// split a heavy key across reducers (skew mode), the key's values are
+// dealt round-robin to the split shards exactly as the shuffle would
+// deliver them, then the merge reducer re-concatenates the shards in
+// split order and reduces once — so the value order the final Reduce sees
+// genuinely depends on the split layout. An order- or split-sensitive
+// Reduce (violating the apps.App contract) therefore surfaces as an
+// output divergence in the partition-independence harness instead of
+// hiding behind a canonical ordering.
+func (c *collector) reduce(app apps.App, part partition.Partitioner) map[string]string {
 	out := make(map[string]string, len(c.groups))
 	for k, vs := range c.groups {
+		if part != nil {
+			if splits := part.Splits(k); len(splits) > 1 {
+				shards := make([][]string, len(splits))
+				for i, v := range vs {
+					shards[i%len(splits)] = append(shards[i%len(splits)], v)
+				}
+				merged := make([]string, 0, len(vs))
+				for _, shard := range shards {
+					merged = append(merged, shard...)
+				}
+				out[k] = app.Reduce(k, merged)
+				continue
+			}
+		}
 		out[k] = app.Reduce(k, vs)
 	}
 	return out

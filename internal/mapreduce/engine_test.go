@@ -89,6 +89,15 @@ func TestRunConservation(t *testing.T) {
 	if res.LocalTasks+res.RemoteTasks != len(blocks) {
 		t.Errorf("task count = %d, want %d", res.LocalTasks+res.RemoteTasks, len(blocks))
 	}
+	// Shuffle-byte conservation: the per-reducer attribution must sum
+	// exactly to the total volume that crossed the network.
+	var perReducer int64
+	for _, b := range res.ShuffleBytesPerReducer {
+		perReducer += b
+	}
+	if perReducer != res.ShuffleBytes {
+		t.Errorf("ShuffleBytesPerReducer sums to %d, ShuffleBytes %d", perReducer, res.ShuffleBytes)
+	}
 }
 
 func TestRunPhaseOrdering(t *testing.T) {
@@ -297,6 +306,23 @@ func TestShuffleDurations(t *testing.T) {
 		if d < res.MapEnd-res.FirstMapEnd-1e-9 {
 			t.Errorf("shuffle %g shorter than map tail %g", d, res.MapEnd-res.FirstMapEnd)
 		}
+	}
+	// The per-reducer byte histogram rides alongside the durations: same
+	// length, non-negative entries, summing exactly to ShuffleBytes, and
+	// a reduce workload per reducer.
+	if len(res.ShuffleBytesPerReducer) != 3 || len(res.ReduceWorkloads) != 3 {
+		t.Fatalf("per-reducer histograms = %d bytes / %d workloads, want 3 each",
+			len(res.ShuffleBytesPerReducer), len(res.ReduceWorkloads))
+	}
+	var sum int64
+	for _, b := range res.ShuffleBytesPerReducer {
+		if b < 0 {
+			t.Errorf("negative per-reducer shuffle bytes %d", b)
+		}
+		sum += b
+	}
+	if sum != res.ShuffleBytes {
+		t.Errorf("per-reducer bytes sum %d, ShuffleBytes %d", sum, res.ShuffleBytes)
 	}
 }
 

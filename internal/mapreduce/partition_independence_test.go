@@ -1,0 +1,254 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"datanet/internal/apps"
+	"datanet/internal/cluster"
+	"datanet/internal/faults"
+	"datanet/internal/hdfs"
+	"datanet/internal/partition"
+	"datanet/internal/records"
+	"datanet/internal/sched"
+	"datanet/internal/straggle"
+)
+
+// The partition-independence property: which reducer a key lands on (and
+// whether a heavy key is split) is pure execution placement — it must
+// never change the job's merged output. These tests drive every
+// registered application through every partitioner at several reducer
+// counts, on a skewed fixture where the strategies genuinely disagree
+// about placement, and require byte-identical outputs — healthy and under
+// fault/mitigation plans.
+
+// skewedEnv builds a fixture whose intermediate key distribution is
+// zipfian-ish: a few hot words dominating, a long tail, several movies.
+func skewedEnv(t *testing.T) *hdfs.FileSystem {
+	t.Helper()
+	topo := cluster.MustHomogeneous(6, 2)
+	fs, err := hdfs.NewFileSystem(topo, hdfs.Config{BlockSize: 4096, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	vocab := []string{"the", "the", "the", "the", "of", "of", "plot", "twist", "ending",
+		"amazing", "director", "scene", "slow", "boring", "great"}
+	var recs []records.Record
+	for i := 0; i < 400; i++ {
+		var sb strings.Builder
+		for w := 0; w < 6; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+		}
+		sub := fmt.Sprintf("movie-%05d", rng.Intn(4))
+		recs = append(recs, records.Record{
+			Sub:     sub,
+			Time:    int64(i) * 1800,
+			Rating:  1 + float64(rng.Intn(9))/2,
+			Payload: sb.String(),
+		})
+	}
+	if _, err := fs.Write("log", recs); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func partitionConfigs() []*partition.Config {
+	return []*partition.Config{
+		nil, // legacy volumetric path
+		{Mode: partition.ModeHash},
+		{Mode: partition.ModeSkew},
+		{Mode: partition.ModeSkew, MaxSplit: 2},
+		{Mode: partition.ModeRange, Seed: 5},
+		{Mode: partition.ModeRange, SampleSize: 8, Seed: 9},
+	}
+}
+
+func partitionLabel(pc *partition.Config) string {
+	if pc == nil {
+		return "off"
+	}
+	return fmt.Sprintf("%s/split%d/sample%d", pc.Mode, pc.MaxSplit, pc.SampleSize)
+}
+
+// TestPartitionIndependenceAcrossApps: every app × every partitioner ×
+// several reducer counts, byte-identical merged output, with per-reducer
+// conservation holding on every run.
+func TestPartitionIndependenceAcrossApps(t *testing.T) {
+	fs := skewedEnv(t)
+	for _, app := range apps.Extended() {
+		t.Run(app.Name(), func(t *testing.T) {
+			var want map[string]string
+			for _, pc := range partitionConfigs() {
+				for _, reducers := range []int{1, 2, 5, 11} {
+					cfg := Config{
+						FS: fs, File: "log", TargetSub: "movie-00001",
+						App: app, Picker: sched.NewDataNetPicker,
+						ExecuteApp: true, Reducers: reducers,
+						Partition: pc,
+					}
+					res, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("%s reducers=%d: %v", partitionLabel(pc), reducers, err)
+					}
+					if want == nil {
+						want = res.Output
+						continue
+					}
+					if !reflect.DeepEqual(res.Output, want) {
+						t.Fatalf("output diverged under %s reducers=%d (%d keys vs %d)",
+							partitionLabel(pc), reducers, len(res.Output), len(want))
+					}
+					var perReducer int64
+					for _, b := range res.ShuffleBytesPerReducer {
+						perReducer += b
+					}
+					if perReducer != res.ShuffleBytes {
+						t.Fatalf("%s reducers=%d: per-reducer bytes %d != ShuffleBytes %d",
+							partitionLabel(pc), reducers, perReducer, res.ShuffleBytes)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionIndependenceUnderFaults: independence must survive
+// crashes, slowdowns and both mitigation modes — the fault machinery
+// reshuffles execution, never the answer.
+func TestPartitionIndependenceUnderFaults(t *testing.T) {
+	fs := skewedEnv(t)
+	plan := &faults.Plan{
+		Crashes: []faults.Crash{{Node: 2, At: 0.2}},
+		Slow:    []faults.Slowdown{{Node: 4, CPU: 0.4, Net: 0.5}},
+	}
+	mitigations := []*straggle.Config{
+		nil,
+		{Mode: straggle.ModeSpeculative},
+		{Mode: straggle.ModeCoded},
+	}
+	for _, mit := range mitigations {
+		name := "none"
+		if mit != nil {
+			name = string(mit.Mode)
+		}
+		t.Run(name, func(t *testing.T) {
+			var want map[string]string
+			for _, pc := range partitionConfigs() {
+				mitCopy := mit
+				if mit != nil {
+					c := *mit
+					mitCopy = &c
+				}
+				planCopy := *plan
+				cfg := Config{
+					FS: fs, File: "log", TargetSub: "movie-00001",
+					App: apps.WordCount{}, Picker: sched.NewDataNetPicker,
+					ExecuteApp: true, Reducers: 4,
+					Partition: pc, Mitigate: mitCopy, Faults: &planCopy,
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", partitionLabel(pc), err)
+				}
+				if want == nil {
+					want = res.Output
+					continue
+				}
+				if !reflect.DeepEqual(res.Output, want) {
+					t.Fatalf("output diverged under %s with faults (%d keys vs %d)",
+						partitionLabel(pc), len(res.Output), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionChangesTimingNotOutput pins that the strategies are not
+// degenerate: on the skewed fixture the skew-aware plan must genuinely
+// differ from hash (different per-reducer loads), while outputs match —
+// the two halves of the independence claim.
+func TestPartitionChangesTimingNotOutput(t *testing.T) {
+	fs := skewedEnv(t)
+	run := func(mode partition.Mode) *Result {
+		cfg := Config{
+			FS: fs, File: "log", TargetSub: "movie-00001",
+			App: apps.WordCount{}, Picker: sched.NewDataNetPicker,
+			ExecuteApp: true, Reducers: 5,
+			Partition: &partition.Config{Mode: mode},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hash, skew := run(partition.ModeHash), run(partition.ModeSkew)
+	if !reflect.DeepEqual(hash.Output, skew.Output) {
+		t.Fatal("hash and skew outputs diverge")
+	}
+	if reflect.DeepEqual(hash.PartitionLoads, skew.PartitionLoads) {
+		t.Fatal("hash and skew produced identical reducer loads on a skewed key set — strategies degenerate")
+	}
+	maxLoad := func(loads []int64) int64 {
+		var m int64
+		for _, l := range loads {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	if maxLoad(skew.PartitionLoads) > maxLoad(hash.PartitionLoads) {
+		t.Fatalf("skew max load %d exceeds hash %d", maxLoad(skew.PartitionLoads), maxLoad(hash.PartitionLoads))
+	}
+}
+
+// TestPartitionOffIsByteIdentical pins the opt-in contract at the engine
+// level: a nil and an explicit off config must produce results deeply
+// equal to each other (the partitioning machinery contributes nothing
+// when disabled).
+func TestPartitionOffIsByteIdentical(t *testing.T) {
+	fs := skewedEnv(t)
+	base := Config{
+		FS: fs, File: "log", TargetSub: "movie-00001",
+		App: apps.WordCount{}, Picker: sched.NewDataNetPicker,
+		ExecuteApp: true, Reducers: 4,
+	}
+	nilRes, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCfg := base
+	offCfg.Partition = &partition.Config{Mode: partition.ModeOff}
+	offRes, err := Run(offCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nilRes, offRes) {
+		t.Fatal("explicit off diverges from nil partition config")
+	}
+	if nilRes.PartitionName != "" || nilRes.PartitionLoads != nil {
+		t.Errorf("disabled run reports partitioner %q loads %v", nilRes.PartitionName, nilRes.PartitionLoads)
+	}
+}
+
+// TestPartitionInvalidMode: a typo'd mode must fail the job up front.
+func TestPartitionInvalidMode(t *testing.T) {
+	fs := skewedEnv(t)
+	cfg := Config{
+		FS: fs, File: "log", TargetSub: "movie-00001",
+		App: apps.WordCount{}, Picker: sched.NewLocalityPicker,
+		Partition: &partition.Config{Mode: "zipf"},
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid partition mode accepted")
+	}
+}

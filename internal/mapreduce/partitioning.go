@@ -1,0 +1,79 @@
+package mapreduce
+
+import (
+	"datanet/internal/trace"
+)
+
+// harvestKeyFreqs replays the application map over the analysis phase's
+// record set (the pre-coded task list, in block order — the same
+// deterministic order the collector uses) and accumulates per-key output
+// bytes. This is the "observed key frequencies harvested during the
+// analysis-map phase" the skew-aware and range partitioners plan from: in
+// a real cluster the map tasks would report these counts with their
+// completion heartbeats, so no extra pass is charged on the simulated
+// clock.
+func (jc *jobContext) harvestKeyFreqs() map[string]int64 {
+	freqs := make(map[string]int64)
+	emit := func(k, v string) { freqs[k] += int64(len(k) + len(v)) }
+	for _, idx := range jc.mapBlocks {
+		for _, r := range jc.blocks[idx].Records {
+			if jc.cfg.TargetSub != "" && r.Sub != jc.cfg.TargetSub {
+				continue
+			}
+			jc.cfg.App.Map(r, emit)
+		}
+	}
+	return freqs
+}
+
+// planPartition fixes the key → reducer assignment when key-aware
+// partitioning is enabled: harvest frequencies, plan, convert the planned
+// per-reducer loads into output-volume shares, and audit the plan into
+// the Result and the trace. With partitioning off it does nothing, so
+// legacy runs stay byte-identical.
+func (jc *jobContext) planPartition() error {
+	if jc.part == nil {
+		return nil
+	}
+	res, cfg := jc.res, jc.cfg
+	freqs := jc.harvestKeyFreqs()
+	if err := jc.part.Plan(freqs, cfg.Reducers); err != nil {
+		return err
+	}
+	loads := jc.part.Loads()
+	res.PartitionName = jc.part.Name()
+	res.PartitionLoads = append([]int64(nil), loads...)
+	for k := range freqs {
+		if len(jc.part.Splits(k)) > 1 {
+			res.PartitionSplitKeys++
+		}
+	}
+	// Planned key bytes → volume shares. A job with no intermediate keys
+	// has nothing to skew, so it degrades to the uniform split.
+	var total int64
+	for _, l := range loads {
+		total += l
+	}
+	jc.shares = make([]float64, cfg.Reducers)
+	for r := range jc.shares {
+		if total > 0 {
+			jc.shares[r] = float64(loads[r]) / float64(total)
+		} else {
+			jc.shares[r] = 1 / float64(cfg.Reducers)
+		}
+	}
+	if jc.rec.Enabled() {
+		var max int64
+		for _, l := range loads {
+			if l > max {
+				max = l
+			}
+		}
+		ev := trace.At(res.MapEnd, trace.EvPartition)
+		ev.Detail = res.PartitionName
+		ev.Bytes = max
+		ev.Count = res.PartitionSplitKeys
+		jc.rec.Record(ev)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"datanet/internal/cluster"
 	"datanet/internal/detect"
 	"datanet/internal/hdfs"
+	"datanet/internal/partition"
 	"datanet/internal/sched"
 	"datanet/internal/sim"
 	"datanet/internal/straggle"
@@ -30,9 +31,17 @@ type jobContext struct {
 	fsim   *filterSim
 	coll   *collector
 
-	// Shuffle → reduce hand-off.
+	// part is the reduce partitioner (nil with partitioning off);
+	// mapBlocks lists the block indices of the pre-coded task list, the
+	// record set the key-frequency harvest replays.
+	part      partition.Partitioner
+	mapBlocks []int
+
+	// Shuffle → reduce hand-off. shares is each reducer's fraction of the
+	// map output volume; nil means the legacy volumetric 1/R split.
 	totalOut    float64
 	reducerNode []cluster.NodeID
+	shares      []float64
 }
 
 // believedDeadAt reports whether the master would refuse to place work on
@@ -271,18 +280,32 @@ func (shufflePhase) Run(jc *jobContext) error {
 			jc.reducerNode[r] = liveAtShuffle[r%len(liveAtShuffle)]
 		}
 	}
+	// With key-aware partitioning on, plan the key → reducer assignment
+	// from the harvested frequencies and shuffle by planned share; off
+	// keeps the exact legacy volumetric expression (1/R of the remote
+	// output), byte-for-byte.
+	if err := jc.planPartition(); err != nil {
+		return err
+	}
 	res.ShuffleDurations = make([]float64, cfg.Reducers)
+	res.ShuffleBytesPerReducer = make([]int64, cfg.Reducers)
 	shuffleEnd := res.MapEnd
 	for r := 0; r < cfg.Reducers; r++ {
 		nid := jc.reducerNode[r]
 		// This reducer's partition share of every node's output; the share
 		// from its own node stays local.
-		remoteOut := (jc.totalOut - float64(res.NodeWorkload[nid])*cfg.App.OutputRatio()) / float64(cfg.Reducers)
+		var remoteOut float64
+		if jc.shares != nil {
+			remoteOut = (jc.totalOut - float64(res.NodeWorkload[nid])*cfg.App.OutputRatio()) * jc.shares[r]
+		} else {
+			remoteOut = (jc.totalOut - float64(res.NodeWorkload[nid])*cfg.App.OutputRatio()) / float64(cfg.Reducers)
+		}
 		if remoteOut < 0 {
 			remoteOut = 0
 		}
 		xfer := remoteOut / inj.NetRate(nid, topo.Node(nid).NetRate)
 		res.ShuffleBytes += int64(remoteOut)
+		res.ShuffleBytesPerReducer[r] = int64(remoteOut)
 		end := res.FirstMapEnd + xfer
 		if end < res.MapEnd {
 			end = res.MapEnd
@@ -311,9 +334,16 @@ func (reducePhase) Name() string { return "reduce" }
 func (reducePhase) Run(jc *jobContext) error {
 	res, cfg, inj, topo := jc.res, jc.cfg, jc.inj, jc.topo
 	reduceEnd := res.ShuffleEnd
+	res.ReduceWorkloads = make([]float64, cfg.Reducers)
 	for r := 0; r < cfg.Reducers; r++ {
 		nid := jc.reducerNode[r]
-		vol := jc.totalOut / float64(cfg.Reducers)
+		var vol float64
+		if jc.shares != nil {
+			vol = jc.totalOut * jc.shares[r]
+		} else {
+			vol = jc.totalOut / float64(cfg.Reducers)
+		}
+		res.ReduceWorkloads[r] = vol
 		end := res.ShuffleEnd + vol*cfg.ReduceCostFactor/inj.CPURate(nid, topo.Node(nid).CPURate)
 		if end > reduceEnd {
 			reduceEnd = end

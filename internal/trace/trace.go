@@ -88,6 +88,12 @@ const (
 	// EvShuffleSpan / EvReduceSpan are per-reducer phase spans.
 	EvShuffleSpan EventType = "shuffle.span"
 	EvReduceSpan  EventType = "reduce.span"
+	// EvPartition is the reduce-partitioner's plan audit, recorded once per
+	// job when key-aware partitioning is enabled (Detail = strategy name,
+	// Bytes = max planned reducer load, Count = keys split across
+	// reducers). Never recorded with partitioning off, so legacy traces
+	// stay byte-identical.
+	EvPartition EventType = "partition.plan"
 )
 
 // Decision is the scheduler audit payload of an EvDecision event: the
